@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation — AppendWrite buffer sizing. The paper selects a 1 GB
+ * circular buffer so the FPGA never drops and the MODEL never stalls;
+ * this ablation shows why: with small appendable memory regions the
+ * sender faults (MODEL: waits for the verifier) frequently, eroding the
+ * decoupling that asynchronous validation buys.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "cfi/design.h"
+#include "common/log.h"
+#include "common/timer.h"
+#include "policy/pointer_integrity.h"
+#include "runtime/vm.h"
+#include "uarch/uarch_model_channel.h"
+#include "verifier/verifier.h"
+#include "workloads/spec_generator.h"
+#include "workloads/spec_profiles.h"
+
+namespace hq {
+namespace {
+
+double
+runWithCapacity(std::size_t capacity, double scale)
+{
+    ir::Module module = buildSpecModule(specProfile("h264ref"), scale);
+    const Status status = instrumentModule(module, CfiDesign::HqSfeStk);
+    if (!status.isOk())
+        panic(status.toString());
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy);
+    UarchModelChannel channel(capacity);
+    verifier.attachChannel(&channel, 1);
+    HqRuntime runtime(1, channel, kernel);
+    if (!runtime.enable().isOk())
+        panic("enable failed");
+    verifier.start();
+
+    VmConfig config = makeVmConfig(CfiDesign::HqSfeStk);
+    Vm vm(module, config, &runtime);
+    Timer timer;
+    const RunResult result = vm.run();
+    const double seconds = timer.elapsedSeconds();
+    verifier.stop();
+    if (result.exit != ExitKind::Ok)
+        panic(result.detail);
+    return seconds;
+}
+
+} // namespace
+} // namespace hq
+
+int
+main(int argc, char **argv)
+{
+    using namespace hq;
+    setLogLevel(LogLevel::Error);
+
+    double scale = 0.5;
+    if (argc > 1)
+        scale = std::atof(argv[1]);
+
+    std::printf("=== Ablation: appendable-memory-region capacity "
+                "(h264ref, scale %.2f) ===\n",
+                scale);
+    std::printf("%-22s %12s\n", "AMR capacity (msgs)", "time (s)");
+    double big_time = 0.0;
+    for (std::size_t capacity : {16u, 256u, 4096u, 65536u}) {
+        const double seconds = runWithCapacity(capacity, scale);
+        if (capacity == 65536u)
+            big_time = seconds;
+        std::printf("%-22zu %12.4f\n", capacity, seconds);
+    }
+    std::printf("\nExpected: small regions make the sender fault/wait "
+                "for the verifier,\ncoupling the processes back "
+                "together; the paper's 1 GB buffer makes\nthis "
+                "effectively never happen (big-buffer time here: "
+                "%.4f s).\n",
+                big_time);
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Table 2 — comparison of IPC primitives: average time to send one
+ * 32-byte AppendWrite message, with a concurrent receiver draining the
+ * channel (the paper's micro-benchmark "repeatedly sends messages").
+ *
+ * Software rows (message queue, pipe, socket, shared memory) measure
+ * the real kernel primitives on this host; AppendWrite-FPGA runs the
+ * device model with its calibrated MMIO latency (the paper measures
+ * 102 ns on an Intel PAC); AppendWrite-µarch is the software MODEL (the
+ * paper's <2 ns row is the projected hardware instruction, which has no
+ * software-measurable equivalent — see EXPERIMENTS.md).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "ipc/channel.h"
+#include "ipc/posix_channels.h"
+
+namespace hq {
+namespace {
+
+/** Background drainer so send() never waits on a full transport. */
+class Drainer
+{
+  public:
+    explicit Drainer(Channel &channel) : _channel(channel)
+    {
+        _thread = std::thread([this] {
+            Message message;
+            while (!_stop.load(std::memory_order_relaxed)) {
+                if (!_channel.tryRecv(message))
+                    std::this_thread::yield();
+            }
+            while (_channel.tryRecv(message)) {
+            }
+        });
+    }
+
+    ~Drainer()
+    {
+        _stop.store(true, std::memory_order_relaxed);
+        _thread.join();
+    }
+
+  private:
+    Channel &_channel;
+    std::atomic<bool> _stop{false};
+    std::thread _thread;
+};
+
+void
+sendLoop(benchmark::State &state, ChannelKind kind)
+{
+    if (kind == ChannelKind::PosixMq && !MqChannel::supported()) {
+        state.SkipWithError("POSIX message queues unavailable");
+        return;
+    }
+    auto channel = makeChannel(kind, 1 << 12);
+    Drainer drainer(*channel);
+    Message message(Opcode::PointerDefine, 0x1000, 0x2000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(channel->send(message));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Send_PosixMq(benchmark::State &s) { sendLoop(s, ChannelKind::PosixMq); }
+void BM_Send_Pipe(benchmark::State &s) { sendLoop(s, ChannelKind::Pipe); }
+void BM_Send_Socket(benchmark::State &s) { sendLoop(s, ChannelKind::Socket); }
+void BM_Send_SharedMemory(benchmark::State &s)
+{
+    sendLoop(s, ChannelKind::SharedMemory);
+}
+void BM_Send_AppendWriteFpga(benchmark::State &s)
+{
+    sendLoop(s, ChannelKind::Fpga);
+}
+void BM_Send_AppendWriteUarchModel(benchmark::State &s)
+{
+    sendLoop(s, ChannelKind::UarchModel);
+}
+void BM_Send_CrossProcessRing(benchmark::State &s)
+{
+    sendLoop(s, ChannelKind::CrossProcess);
+}
+
+BENCHMARK(BM_Send_PosixMq);
+BENCHMARK(BM_Send_Pipe);
+BENCHMARK(BM_Send_Socket);
+BENCHMARK(BM_Send_SharedMemory);
+BENCHMARK(BM_Send_AppendWriteFpga);
+BENCHMARK(BM_Send_AppendWriteUarchModel);
+BENCHMARK(BM_Send_CrossProcessRing);
+
+/** Manual measurement used for the printed Table-2 comparison. */
+double
+measureSendNs(ChannelKind kind)
+{
+    if (kind == ChannelKind::PosixMq && !MqChannel::supported())
+        return -1.0;
+    auto channel = makeChannel(kind, 1 << 12);
+    Drainer drainer(*channel);
+    Message message(Opcode::PointerDefine, 0x1000, 0x2000);
+
+    // Warm-up.
+    for (int i = 0; i < 2000; ++i)
+        channel->send(message);
+
+    constexpr int kSends = 200000;
+    Timer timer;
+    for (int i = 0; i < kSends; ++i)
+        channel->send(message);
+    return static_cast<double>(timer.elapsedNs()) / kSends;
+}
+
+void
+printTable2()
+{
+    struct Row
+    {
+        ChannelKind kind;
+        const char *paper_ns;
+    };
+    const Row rows[] = {
+        {ChannelKind::PosixMq, "146"},
+        {ChannelKind::Pipe, "316"},
+        {ChannelKind::Socket, "346"},
+        {ChannelKind::SharedMemory, "12"},
+        {ChannelKind::Fpga, "102"},
+        {ChannelKind::UarchModel, "<2 (hw projection)"},
+        {ChannelKind::CrossProcess, "-"},
+    };
+
+    std::printf("\n=== Table 2: IPC primitive comparison ===\n");
+    std::printf("%-28s %-7s %-7s %-13s %12s %10s\n", "IPC Primitive",
+                "Append", "Async.", "Primary", "Measured", "Paper");
+    std::printf("%-28s %-7s %-7s %-13s %12s %10s\n", "", "Only",
+                "Valid.", "Cost", "(ns)", "(ns)");
+    for (const Row &row : rows) {
+        auto channel = makeChannel(row.kind, 64);
+        const ChannelTraits &traits = channel->traits();
+        const double ns = measureSendNs(row.kind);
+        char measured[32];
+        if (ns < 0)
+            std::snprintf(measured, sizeof measured, "n/a");
+        else
+            std::snprintf(measured, sizeof measured, "%.1f", ns);
+        std::printf("%-28s %-7s %-7s %-13s %12s %10s\n",
+                    traits.name.c_str(), traits.appendOnly ? "yes" : "NO",
+                    traits.asyncValidation ? "yes" : "no",
+                    traits.primaryCost.c_str(), measured, row.paper_ns);
+    }
+    std::printf("\nNote: software rows measure this host's kernel; the "
+                "paper's testbed\n(i9-9900K @5GHz) differs in absolute "
+                "terms. The expected *shape* is:\nsyscall-based rows are "
+                "1-2 orders slower than memory-write rows, and\n"
+                "AppendWrite combines append-only with asynchronous "
+                "validation.\n");
+}
+
+} // namespace
+} // namespace hq
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    hq::printTable2();
+    return 0;
+}

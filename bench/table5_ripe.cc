@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 5 — successful RIPE exploits under each CFI design, grouped by
+ * overflow origin. Every attack is executed for real: success requires
+ * the payload's confirmation system call to complete (§5.2).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/log.h"
+#include "workloads/ripe.h"
+
+namespace hq {
+namespace {
+
+struct OriginCounts
+{
+    int bss = 0, data = 0, heap = 0, stack = 0;
+    int total() const { return bss + data + heap + stack; }
+};
+
+OriginCounts
+sweep(const std::vector<RipeAttack> &suite, CfiDesign design)
+{
+    OriginCounts counts;
+    for (const RipeAttack &attack : suite) {
+        const RipeResult result = runRipeAttack(attack, design);
+        if (!result.succeeded)
+            continue;
+        switch (attack.origin) {
+          case AttackOrigin::Bss: ++counts.bss; break;
+          case AttackOrigin::Data: ++counts.data; break;
+          case AttackOrigin::Heap: ++counts.heap; break;
+          case AttackOrigin::Stack: ++counts.stack; break;
+        }
+    }
+    return counts;
+}
+
+void
+printRow(const char *name, const OriginCounts &c, const char *paper)
+{
+    std::printf("%-16s %5d %5d %5d %6d %6d   %s\n", name, c.bss, c.data,
+                c.heap, c.stack, c.total(), paper);
+}
+
+} // namespace
+} // namespace hq
+
+int
+main(int argc, char **argv)
+{
+    using namespace hq;
+    setLogLevel(LogLevel::Off); // epoch warnings are expected here
+
+    int variants = 18;
+    if (argc > 1)
+        variants = std::atoi(argv[1]);
+    const auto suite = ripeAttackSuite(variants);
+
+    std::printf("=== Table 5: successful RIPE exploits by overflow "
+                "origin (%zu attacks) ===\n",
+                suite.size());
+    std::printf("%-16s %5s %5s %5s %6s %6s   %s\n", "Design", "BSS",
+                "Data", "Heap", "Stack", "Total",
+                "(paper: BSS/Data/Heap/Stack/Total)");
+
+    printRow("Baseline", sweep(suite, CfiDesign::Baseline),
+             "214/234/234/272/954");
+    printRow("Clang/LLVM CFI", sweep(suite, CfiDesign::ClangCfi),
+             "60/60/60/10/190");
+    printRow("CCFI", sweep(suite, CfiDesign::Ccfi), "0/0/0/0/0");
+    printRow("CPI", sweep(suite, CfiDesign::Cpi), "10/10/10/10/40");
+    printRow("HQ-CFI-SfeStk", sweep(suite, CfiDesign::HqSfeStk),
+             "10/10/10/0/30");
+    printRow("HQ-CFI-RetPtr", sweep(suite, CfiDesign::HqRetPtr),
+             "0/0/0/0/0");
+
+    std::printf("\nExpected shape: the baseline falls to everything; "
+                "type-matching CFI\nfalls to code reuse; safe-stack "
+                "designs fall to disclosure attacks on\nreturn "
+                "pointers; CCFI and HQ-CFI-RetPtr block all exploits.\n");
+    return 0;
+}

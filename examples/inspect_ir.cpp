@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Inspect what the compiler pipelines actually do: dumps a small
+ * program's IR before instrumentation and after each design's pipeline,
+ * so the per-design mechanisms (messages vs. MACs vs. safe-store
+ * redirection vs. type checks) are visible side by side.
+ *
+ * Build: cmake --build build && ./build/examples/inspect_ir [design]
+ *   design ∈ {baseline, hq-sfestk, hq-retptr, clang, ccfi, cpi, all}
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "cfi/design.h"
+#include "common/log.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+using namespace hq;
+using namespace hq::ir;
+
+namespace {
+
+Module
+sampleProgram()
+{
+    Module module;
+    IrBuilder builder(module);
+    const int sig = builder.newSignatureClass();
+
+    builder.beginFunction("handler", 1, sig);
+    builder.ret(builder.arith(ArithKind::Add, builder.param(0),
+                              builder.constInt(1)));
+    builder.endFunction();
+
+    builder.beginFunction("main");
+    const int slot = builder.allocaOp(8, TypeRef::funcPtr(sig));
+    const int fp = builder.funcAddr(0, sig);
+    builder.store(slot, fp, TypeRef::funcPtr(sig));
+    builder.callDirect(0, {slot});
+    const int loaded = builder.load(slot, TypeRef::funcPtr(sig));
+    const int x = builder.constInt(41);
+    const int out = builder.callIndirect(loaded, {x}, sig);
+    builder.syscall(1);
+    builder.ret(out);
+    builder.endFunction();
+    module.entry_function = 1;
+    return module;
+}
+
+void
+dumpFor(CfiDesign design)
+{
+    Module module = sampleProgram();
+    const Status status = instrumentModule(module, design);
+    if (!status.isOk()) {
+        std::printf("instrumentation failed: %s\n",
+                    status.toString().c_str());
+        return;
+    }
+    std::printf("----- after %s pipeline -----\n%s\n",
+                designInfo(design).name.c_str(),
+                printModule(module).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Error);
+    const char *which = argc > 1 ? argv[1] : "hq-sfestk";
+
+    std::printf("----- source program -----\n%s\n",
+                printModule(sampleProgram()).c_str());
+
+    struct Option
+    {
+        const char *name;
+        CfiDesign design;
+    };
+    const Option options[] = {
+        {"baseline", CfiDesign::Baseline},
+        {"hq-sfestk", CfiDesign::HqSfeStk},
+        {"hq-retptr", CfiDesign::HqRetPtr},
+        {"clang", CfiDesign::ClangCfi},
+        {"ccfi", CfiDesign::Ccfi},
+        {"cpi", CfiDesign::Cpi},
+    };
+    for (const Option &option : options) {
+        if (std::strcmp(which, "all") == 0 ||
+            std::strcmp(which, option.name) == 0)
+            dumpFor(option.design);
+    }
+    return 0;
+}

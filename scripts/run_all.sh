@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Reproduce the full evaluation, artifact-style: build, test, run every
+# table/figure bench, and leave the outputs next to the repo root.
+#
+# Usage: ./scripts/run_all.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+echo "== benches =="
+for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b"
+done 2>&1 | tee bench_output.txt
+
+# Artifact-style CSVs (per-benchmark rows).
+"$BUILD_DIR"/bench/table4_correctness 0.02 table4_out.csv > /dev/null
+"$BUILD_DIR"/bench/fig5_cfi_designs 0.4 fig5_out.csv > /dev/null
+echo "CSV results: table4_out.csv fig5_out.csv"

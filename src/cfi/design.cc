@@ -1,0 +1,124 @@
+#include "cfi/design.h"
+
+#include "common/log.h"
+
+namespace hq {
+
+namespace {
+
+DesignInfo
+makeInfo(CfiDesign design)
+{
+    DesignInfo info{};
+    info.design = design;
+    switch (design) {
+      case CfiDesign::Baseline:
+        info.name = "Baseline";
+        info.lowering.mode = LoweringMode::None;
+        info.devirtualize = true;
+        break;
+      case CfiDesign::HqSfeStk:
+        info.name = "HQ-CFI-SfeStk";
+        info.lowering.mode = LoweringMode::Hq;
+        info.devirtualize = true;
+        info.optimize_messages = true;
+        info.safe_stack = true;
+        info.hq_messages = true;
+        break;
+      case CfiDesign::HqRetPtr:
+        info.name = "HQ-CFI-RetPtr";
+        info.lowering.mode = LoweringMode::Hq;
+        info.lowering.retptr_messages = true;
+        info.devirtualize = true;
+        info.optimize_messages = true;
+        info.hq_messages = true;
+        info.retptr_messages = true;
+        break;
+      case CfiDesign::ClangCfi:
+        info.name = "Clang/LLVM CFI";
+        info.lowering.mode = LoweringMode::ClangCfi;
+        info.devirtualize = true;
+        info.safe_stack = true;
+        info.guard_pages = true; // Clang adds guard pages (§5.2)
+        info.clangcfi_runtime = true;
+        break;
+      case CfiDesign::Ccfi:
+        info.name = "CCFI";
+        info.lowering.mode = LoweringMode::Ccfi;
+        info.devirtualize = false; // LLVM 3.4 base
+        info.ccfi_runtime = true;
+        break;
+      case CfiDesign::Cpi:
+        info.name = "CPI";
+        info.lowering.mode = LoweringMode::Cpi;
+        info.devirtualize = false; // LLVM 3.3 base
+        info.safe_stack = true;
+        info.cpi_runtime = true;
+        break;
+    }
+    return info;
+}
+
+} // namespace
+
+const DesignInfo &
+designInfo(CfiDesign design)
+{
+    static const DesignInfo kInfos[] = {
+        makeInfo(CfiDesign::Baseline), makeInfo(CfiDesign::HqSfeStk),
+        makeInfo(CfiDesign::HqRetPtr), makeInfo(CfiDesign::ClangCfi),
+        makeInfo(CfiDesign::Ccfi),     makeInfo(CfiDesign::Cpi),
+    };
+    return kInfos[static_cast<int>(design)];
+}
+
+const std::vector<CfiDesign> &
+allDesigns()
+{
+    static const std::vector<CfiDesign> kAll = {
+        CfiDesign::Baseline, CfiDesign::HqSfeStk, CfiDesign::HqRetPtr,
+        CfiDesign::ClangCfi, CfiDesign::Ccfi,     CfiDesign::Cpi,
+    };
+    return kAll;
+}
+
+Status
+instrumentModule(ir::Module &module, CfiDesign design, StatSet *stats)
+{
+    const DesignInfo &info = designInfo(design);
+    PassManager pm;
+    if (info.devirtualize)
+        pm.add(std::make_unique<DevirtualizationPass>());
+    pm.add(std::make_unique<InitialLoweringPass>(info.lowering));
+    if (info.optimize_messages) {
+        pm.add(std::make_unique<StoreToLoadForwardingPass>());
+        pm.add(std::make_unique<MessageElisionPass>());
+    }
+    pm.add(std::make_unique<FinalLoweringPass>(info.lowering));
+    if (info.hq_messages)
+        pm.add(std::make_unique<SyscallSyncPass>());
+
+    Status status = pm.run(module);
+    if (stats) {
+        for (const auto &[name, value] : pm.stats().all())
+            stats->increment(name, value);
+    }
+    return status;
+}
+
+VmConfig
+makeVmConfig(CfiDesign design)
+{
+    const DesignInfo &info = designInfo(design);
+    VmConfig config;
+    config.safe_stack = info.safe_stack;
+    config.guard_pages = info.guard_pages;
+    config.hq_messages = info.hq_messages;
+    config.retptr_messages = info.retptr_messages;
+    config.ccfi_runtime = info.ccfi_runtime;
+    config.cpi_runtime = info.cpi_runtime;
+    config.clangcfi_runtime = info.clangcfi_runtime;
+    return config;
+}
+
+} // namespace hq

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The CFI designs evaluated in the paper (Table 3), each a combination
+ * of an instrumentation pipeline and VM runtime behavior:
+ *
+ * | Design         | Mechanism                 | Back edge        |
+ * |----------------|---------------------------|------------------|
+ * | Baseline       | none                      | plain stack      |
+ * | HQ-CFI-SfeStk  | AppendWrite messages      | safe stack       |
+ * | HQ-CFI-RetPtr  | AppendWrite messages      | define/check-inv |
+ * | Clang/LLVM CFI | signature-class checks    | safe stack+guard |
+ * | CCFI           | cryptographic MACs        | per-frame MAC    |
+ * | CPI            | safe pointer store        | safe stack       |
+ *
+ * CCFI and CPI are based on LLVM 3.4/3.3 in the paper and lack the
+ * modern devirtualization optimizations, so their pipelines omit the
+ * devirtualization pass (each design is normalized against a
+ * version-specific baseline in the harnesses, as in §5).
+ */
+
+#ifndef HQ_CFI_DESIGN_H
+#define HQ_CFI_DESIGN_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "compiler/passes.h"
+#include "runtime/vm.h"
+
+namespace hq {
+
+enum class CfiDesign {
+    Baseline,
+    HqSfeStk,
+    HqRetPtr,
+    ClangCfi,
+    Ccfi,
+    Cpi,
+};
+
+/** Static description of one design. */
+struct DesignInfo
+{
+    CfiDesign design;
+    std::string name;         //!< e.g. "HQ-CFI-SfeStk"
+    LoweringOptions lowering; //!< pass-pipeline options
+    bool devirtualize;        //!< modern-LLVM optimizations available
+    bool optimize_messages;   //!< forwarding + elision (HQ only)
+    // Runtime behavior:
+    bool safe_stack;
+    bool guard_pages;
+    bool hq_messages;
+    bool retptr_messages;
+    bool ccfi_runtime;
+    bool cpi_runtime;
+    bool clangcfi_runtime;
+};
+
+/** Registry entry for a design. */
+const DesignInfo &designInfo(CfiDesign design);
+
+/** All designs, Baseline first. */
+const std::vector<CfiDesign> &allDesigns();
+
+/**
+ * Instrument a module for the given design (runs its pass pipeline).
+ * @param stats optional sink for per-pass statistics
+ */
+Status instrumentModule(ir::Module &module, CfiDesign design,
+                        StatSet *stats = nullptr);
+
+/** VM runtime configuration matching the design. */
+VmConfig makeVmConfig(CfiDesign design);
+
+} // namespace hq
+
+#endif // HQ_CFI_DESIGN_H

@@ -1,0 +1,56 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace hq {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+std::mutex log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+void
+panic(const std::string &message)
+{
+    logMessage(LogLevel::Error, "panic: " + message);
+    std::abort();
+}
+
+} // namespace hq

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal leveled logging, in the spirit of gem5's inform()/warn()/fatal().
+ *
+ * Logging is process-global and thread-safe. Benchmarks set the level to
+ * Error so verifier chatter does not perturb timing.
+ */
+
+#ifndef HQ_COMMON_LOG_H
+#define HQ_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace hq {
+
+enum class LogLevel { Debug = 0, Info, Warn, Error, Off };
+
+/** Set the global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emit one formatted line ("[LEVEL] message") to stderr. */
+void logMessage(LogLevel level, const std::string &message);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Log at Debug level; arguments are streamed together. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Debug)
+        logMessage(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Info level. */
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Info)
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Warn level. */
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Warn)
+        logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Error level. */
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Error)
+        logMessage(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort with a message; used for conditions that indicate repo bugs. */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace hq
+
+#endif // HQ_COMMON_LOG_H

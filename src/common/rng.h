@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64 + xoshiro256**).
+ *
+ * Workload generation must be reproducible across runs and machines, so the
+ * repo uses this fixed-algorithm RNG everywhere instead of std::mt19937
+ * (whose distributions are not specified bit-exactly across standard
+ * library implementations).
+ */
+
+#ifndef HQ_COMMON_RNG_H
+#define HQ_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace hq {
+
+/** xoshiro256** seeded via splitmix64; fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Reinitialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : _state)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t value = next();
+            if (value >= threshold)
+                return value % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    nextInRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &state)
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace hq
+
+#endif // HQ_COMMON_RNG_H

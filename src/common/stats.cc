@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace hq {
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double sample : samples)
+        total += sample;
+    return total / static_cast<double>(samples.size());
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_total = 0.0;
+    for (double sample : samples) {
+        assert(sample > 0.0 && "geomean requires positive samples");
+        log_total += std::log(sample);
+    }
+    return std::exp(log_total / static_cast<double>(samples.size()));
+}
+
+double
+stddev(const std::vector<double> &samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    const double mu = mean(samples);
+    double sq_total = 0.0;
+    for (double sample : samples)
+        sq_total += (sample - mu) * (sample - mu);
+    return std::sqrt(sq_total / static_cast<double>(samples.size() - 1));
+}
+
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+double
+minOf(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::min_element(samples.begin(), samples.end());
+}
+
+double
+maxOf(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+void
+RunningStat::add(double sample)
+{
+    if (_count == 0) {
+        _min = sample;
+        _max = sample;
+    } else {
+        _min = std::min(_min, sample);
+        _max = std::max(_max, sample);
+    }
+    ++_count;
+    _total += sample;
+}
+
+double
+RunningStat::mean() const
+{
+    return _count ? _total / static_cast<double>(_count) : 0.0;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    _values[name] = value;
+}
+
+void
+StatSet::increment(const std::string &name, double delta)
+{
+    _values[name] += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = _values.find(name);
+    return it == _values.end() ? 0.0 : it->second;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : _values)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace hq

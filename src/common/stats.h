@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Summary statistics helpers used by the benchmark harnesses.
+ *
+ * The paper reports geometric means of relative performance (Figures 3-5)
+ * and arithmetic means with standard deviations across 3 runs; these
+ * helpers compute exactly those aggregates.
+ */
+
+#ifndef HQ_COMMON_STATS_H
+#define HQ_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hq {
+
+/** Arithmetic mean; returns 0 for an empty sample. */
+double mean(const std::vector<double> &samples);
+
+/** Geometric mean; all samples must be positive. */
+double geomean(const std::vector<double> &samples);
+
+/** Sample (n-1) standard deviation; returns 0 for n < 2. */
+double stddev(const std::vector<double> &samples);
+
+/** Median (midpoint of sorted sample); returns 0 for an empty sample. */
+double median(std::vector<double> samples);
+
+/** Smallest element; returns 0 for an empty sample. */
+double minOf(const std::vector<double> &samples);
+
+/** Largest element; returns 0 for an empty sample. */
+double maxOf(const std::vector<double> &samples);
+
+/**
+ * Incremental accumulator for counters and derived statistics.
+ *
+ * Used by the verifier and kernel module to track per-process message and
+ * system-call statistics without storing every sample.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double sample);
+
+    std::uint64_t count() const { return _count; }
+    double total() const { return _total; }
+    double mean() const;
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _total = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Named scalar statistics registry, for dumping structured results
+ * ("stat value" lines) from benches and the verifier.
+ */
+class StatSet
+{
+  public:
+    /** Set (or overwrite) a named statistic. */
+    void set(const std::string &name, double value);
+
+    /** Add delta to a named statistic, creating it at 0 if absent. */
+    void increment(const std::string &name, double delta = 1.0);
+
+    /** Value of a named statistic, or 0 if never set. */
+    double get(const std::string &name) const;
+
+    const std::map<std::string, double> &all() const { return _values; }
+
+    /** Render one "name value" line per statistic, sorted by name. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> _values;
+};
+
+} // namespace hq
+
+#endif // HQ_COMMON_STATS_H

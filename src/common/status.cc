@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace hq {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::NotFound: return "NOT_FOUND";
+      case StatusCode::AlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::PermissionDenied: return "PERMISSION_DENIED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::Internal: return "INTERNAL";
+      case StatusCode::PolicyViolation: return "POLICY_VIOLATION";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    std::string out = statusCodeName(_code);
+    if (!_message.empty()) {
+        out += ": ";
+        out += _message;
+    }
+    return out;
+}
+
+} // namespace hq

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight status and expected-value types.
+ *
+ * The reproduction avoids exceptions on hot paths (the runtime messaging
+ * library sits on the monitored program's critical path), so fallible
+ * operations return a Status or an Expected<T> instead of throwing.
+ */
+
+#ifndef HQ_COMMON_STATUS_H
+#define HQ_COMMON_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hq {
+
+/** Error category for a failed operation. */
+enum class StatusCode {
+    Ok = 0,
+    InvalidArgument,
+    NotFound,
+    AlreadyExists,
+    ResourceExhausted,
+    FailedPrecondition,
+    PermissionDenied,
+    Unavailable,
+    Internal,
+    PolicyViolation,
+};
+
+/** Human-readable name of a status code. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Result of a fallible operation: a code plus an optional message.
+ *
+ * The default-constructed Status is Ok.
+ */
+class Status
+{
+  public:
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : _code(code), _message(std::move(message))
+    {}
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        return Status(code, std::move(message));
+    }
+
+    bool isOk() const { return _code == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+
+    /** Render "CODE: message" for logs and test failures. */
+    std::string toString() const;
+
+  private:
+    StatusCode _code = StatusCode::Ok;
+    std::string _message;
+};
+
+/**
+ * Either a value of type T or a failure Status.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : _value(std::move(value)) {}
+    Expected(Status status) : _status(std::move(status))
+    {
+        assert(!_status.isOk() && "Expected built from Ok status");
+    }
+
+    bool hasValue() const { return _value.has_value(); }
+    explicit operator bool() const { return hasValue(); }
+
+    const T &
+    value() const
+    {
+        assert(hasValue());
+        return *_value;
+    }
+
+    T &
+    value()
+    {
+        assert(hasValue());
+        return *_value;
+    }
+
+    T
+    takeValue()
+    {
+        assert(hasValue());
+        return std::move(*_value);
+    }
+
+    const Status &
+    status() const
+    {
+        static const Status ok_status;
+        return hasValue() ? ok_status : _status;
+    }
+
+  private:
+    std::optional<T> _value;
+    Status _status;
+};
+
+} // namespace hq
+
+#endif // HQ_COMMON_STATUS_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Wall-clock timing helpers for benchmark harnesses.
+ */
+
+#ifndef HQ_COMMON_TIMER_H
+#define HQ_COMMON_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace hq {
+
+/** Steady-clock stopwatch; starts on construction. */
+class Timer
+{
+  public:
+    Timer() : _start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { _start = Clock::now(); }
+
+    /** Elapsed nanoseconds since construction or last reset(). */
+    std::uint64_t
+    elapsedNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - _start)
+            .count();
+    }
+
+    /** Elapsed seconds as a double. */
+    double
+    elapsedSeconds() const
+    {
+        return static_cast<double>(elapsedNs()) * 1e-9;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+} // namespace hq
+
+#endif // HQ_COMMON_TIMER_H

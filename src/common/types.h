@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the HerQules reproduction.
+ */
+
+#ifndef HQ_COMMON_TYPES_H
+#define HQ_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace hq {
+
+/** Process identifier inside the simulated system. */
+using Pid = std::uint32_t;
+
+/** Virtual address inside a simulated process address space. */
+using Addr = std::uint64_t;
+
+/** A null address constant; the VM never maps page zero. */
+inline constexpr Addr kNullAddr = 0;
+
+/** Cycle count used by the microarchitectural simulator. */
+using Cycles = std::uint64_t;
+
+/** Monotonic tick used by the simulated kernel for epochs. */
+using Tick = std::uint64_t;
+
+} // namespace hq
+
+#endif // HQ_COMMON_TYPES_H

@@ -1,0 +1,331 @@
+#include "compiler/analysis.h"
+
+namespace hq {
+
+using ir::Instr;
+using ir::IrOp;
+
+namespace {
+
+std::uint64_t
+baseKey(SlotRef::Base base, int id)
+{
+    return (static_cast<std::uint64_t>(base) << 56) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+}
+
+} // namespace
+
+FunctionAnalysis::FunctionAnalysis(const ir::Module &module,
+                                   const ir::Function &function)
+    : _module(module), _function(function)
+{
+    computeDefs();
+    computeAllocaOrdinals();
+    computeTaint();
+    computeSlots();
+}
+
+void
+FunctionAnalysis::computeDefs()
+{
+    _defs.assign(_function.num_regs, DefSite{});
+    for (int block = 0; block < static_cast<int>(_function.blocks.size());
+         ++block) {
+        const auto &instrs = _function.blocks[block].instrs;
+        for (int index = 0; index < static_cast<int>(instrs.size());
+             ++index) {
+            const int dest = instrs[index].dest;
+            if (dest >= 0 && dest < _function.num_regs)
+                _defs[dest] = DefSite{block, index};
+        }
+    }
+}
+
+void
+FunctionAnalysis::computeAllocaOrdinals()
+{
+    for (int block = 0; block < static_cast<int>(_function.blocks.size());
+         ++block) {
+        const auto &instrs = _function.blocks[block].instrs;
+        for (int index = 0; index < static_cast<int>(instrs.size());
+             ++index) {
+            if (instrs[index].op == IrOp::Alloca) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(block) << 32) |
+                    static_cast<std::uint32_t>(index);
+                _alloca_ordinals[key] = _num_allocas++;
+                _alloca_sizes.push_back(instrs[index].imm);
+            }
+        }
+    }
+}
+
+DefSite
+FunctionAnalysis::def(int reg) const
+{
+    if (reg < 0 || reg >= static_cast<int>(_defs.size()))
+        return DefSite{};
+    return _defs[reg];
+}
+
+const Instr *
+FunctionAnalysis::defInstr(int reg) const
+{
+    const DefSite site = def(reg);
+    if (!site.valid())
+        return nullptr;
+    return &_function.blocks[site.block].instrs[site.index];
+}
+
+int
+FunctionAnalysis::allocaOrdinal(int block, int index) const
+{
+    const std::uint64_t key = (static_cast<std::uint64_t>(block) << 32) |
+                              static_cast<std::uint32_t>(index);
+    auto it = _alloca_ordinals.find(key);
+    return it == _alloca_ordinals.end() ? -1 : it->second;
+}
+
+SlotRef
+FunctionAnalysis::slotOf(int addr_reg) const
+{
+    SlotRef slot;
+    int reg = addr_reg;
+    std::uint64_t offset = 0;
+    // Def chains are acyclic (single assignment), so this terminates.
+    for (;;) {
+        const Instr *instr = defInstr(reg);
+        if (!instr) {
+            // Parameter or unknown: address data we cannot resolve.
+            slot.base = SlotRef::Base::Unknown;
+            return slot;
+        }
+        switch (instr->op) {
+          case IrOp::Alloca: {
+            const DefSite site = def(reg);
+            slot.base = SlotRef::Base::Stack;
+            slot.id = allocaOrdinal(site.block, site.index);
+            slot.offset = offset;
+            slot.exact_offset = true;
+            return slot;
+          }
+          case IrOp::GlobalAddr:
+            slot.base = SlotRef::Base::Global;
+            slot.id = static_cast<int>(instr->imm);
+            slot.offset = offset;
+            slot.exact_offset = true;
+            return slot;
+          case IrOp::Cast:
+            reg = instr->a;
+            continue;
+          case IrOp::Arith: {
+            // base + constant: field addressing stays resolvable.
+            if (static_cast<ir::ArithKind>(instr->aux) ==
+                ir::ArithKind::Add) {
+                const Instr *lhs = defInstr(instr->a);
+                const Instr *rhs = defInstr(instr->b);
+                if (rhs && rhs->op == IrOp::ConstInt) {
+                    offset += rhs->imm;
+                    reg = instr->a;
+                    continue;
+                }
+                if (lhs && lhs->op == IrOp::ConstInt) {
+                    offset += lhs->imm;
+                    reg = instr->b;
+                    continue;
+                }
+                // Variable index: the base may still resolve, but the
+                // offset is unknown.
+                SlotRef inner = slotOf(instr->a);
+                if (inner.resolved()) {
+                    inner.exact_offset = false;
+                    return inner;
+                }
+                inner = slotOf(instr->b);
+                if (inner.resolved()) {
+                    inner.exact_offset = false;
+                    return inner;
+                }
+            }
+            slot.base = SlotRef::Base::Unknown;
+            return slot;
+          }
+          default:
+            slot.base = SlotRef::Base::Unknown;
+            return slot;
+        }
+    }
+}
+
+void
+FunctionAnalysis::computeTaint()
+{
+    // Taint graph edges: Cast propagates in both directions (rule 1
+    // forward: defined-from; rule 2 backward: original value used as
+    // funcptr). Seeds: FuncAddr results, protected-typed loads, casts
+    // *to* function-pointer type (both their dest and source).
+    std::vector<int> worklist;
+    auto addTaint = [&](int reg) {
+        if (reg >= 0 && _tainted.insert(reg).second)
+            worklist.push_back(reg);
+    };
+
+    // Forward edges a->dest and backward dest->a for every cast.
+    std::unordered_map<int, std::vector<int>> adjacent;
+
+    for (const auto &block : _function.blocks) {
+        for (const Instr &instr : block.instrs) {
+            switch (instr.op) {
+              case IrOp::FuncAddr:
+                addTaint(instr.dest);
+                break;
+              case IrOp::Load:
+                if (instr.type.isProtectedPtr())
+                    addTaint(instr.dest);
+                break;
+              case IrOp::Cast:
+                adjacent[instr.a].push_back(instr.dest);
+                adjacent[instr.dest].push_back(instr.a);
+                if (instr.type.isFuncPtr()) {
+                    addTaint(instr.dest);
+                    addTaint(instr.a); // rule (2)
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    while (!worklist.empty()) {
+        const int reg = worklist.back();
+        worklist.pop_back();
+        auto it = adjacent.find(reg);
+        if (it == adjacent.end())
+            continue;
+        for (int next : it->second)
+            addTaint(next);
+    }
+}
+
+void
+FunctionAnalysis::computeSlots()
+{
+    auto protect = [&](const SlotRef &slot) {
+        if (!slot.resolved())
+            return;
+        _protected_bases.insert(baseKey(slot.base, slot.id));
+        if (slot.exact_offset)
+            _protected_slots.insert(slot.key());
+    };
+    auto escape = [&](int addr_reg) {
+        const SlotRef slot = slotOf(addr_reg);
+        if (slot.resolved())
+            _escaped_bases.insert(baseKey(slot.base, slot.id));
+    };
+
+    for (const auto &block : _function.blocks) {
+        for (const Instr &instr : block.instrs) {
+            switch (instr.op) {
+              case IrOp::Store:
+                if (instr.type.isProtectedPtr() || isTainted(instr.b))
+                    protect(slotOf(instr.a));
+                // Storing a slot's *address* somewhere: it escapes.
+                escape(instr.b);
+                break;
+              case IrOp::Load:
+                if (instr.type.isProtectedPtr())
+                    protect(slotOf(instr.a));
+                break;
+              case IrOp::Memcpy:
+              case IrOp::Memmove:
+                escape(instr.a);
+                escape(instr.b);
+                break;
+              case IrOp::CallDirect:
+              case IrOp::CallIndirect:
+              case IrOp::VCall:
+                for (int arg : instr.args)
+                    escape(arg);
+                break;
+              case IrOp::Free:
+              case IrOp::Realloc:
+                escape(instr.a);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+bool
+FunctionAnalysis::isProtectedSlot(const SlotRef &slot) const
+{
+    if (!slot.resolved())
+        return false;
+    // Globals with function-pointer initializers are protected
+    // regardless of local dataflow (startup registration, §4.1.4).
+    if (slot.base == SlotRef::Base::Global && slot.id >= 0 &&
+        slot.id < static_cast<int>(_module.globals.size()) &&
+        !_module.globals[slot.id].funcptr_init.empty()) {
+        return true;
+    }
+    if (slot.exact_offset)
+        return _protected_slots.count(slot.key()) > 0;
+    // Inexact offset: conservatively protected when any offset of the
+    // base is (field-sensitivity degrades gracefully).
+    return _protected_bases.count(baseKey(slot.base, slot.id)) > 0;
+}
+
+std::uint64_t
+FunctionAnalysis::allocaSize(int ordinal) const
+{
+    if (ordinal < 0 || ordinal >= static_cast<int>(_alloca_sizes.size()))
+        return 0;
+    return _alloca_sizes[ordinal];
+}
+
+bool
+FunctionAnalysis::accessInBounds(const SlotRef &slot,
+                                 const ir::Module &module) const
+{
+    if (!slot.resolved() || !slot.exact_offset)
+        return false;
+    std::uint64_t size = 0;
+    if (slot.base == SlotRef::Base::Stack) {
+        size = allocaSize(slot.id);
+    } else if (slot.id >= 0 &&
+               slot.id < static_cast<int>(module.globals.size())) {
+        size = module.globals[slot.id].size;
+    }
+    return size > 0 && slot.offset + 8 <= size;
+}
+
+bool
+FunctionAnalysis::isProtectedStackSlot(int ordinal) const
+{
+    return _protected_bases.count(
+               baseKey(SlotRef::Base::Stack, ordinal)) > 0;
+}
+
+bool
+FunctionAnalysis::stackSlotEscapes(int ordinal) const
+{
+    return _escaped_bases.count(baseKey(SlotRef::Base::Stack, ordinal)) >
+           0;
+}
+
+bool
+FunctionAnalysis::slotEscapes(const SlotRef &slot) const
+{
+    if (!slot.resolved())
+        return true;
+    // Globals are always reachable from other functions.
+    if (slot.base == SlotRef::Base::Global)
+        return true;
+    return _escaped_bases.count(baseKey(slot.base, slot.id)) > 0;
+}
+
+} // namespace hq

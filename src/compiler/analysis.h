@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Per-function dataflow analyses underlying the instrumentation passes:
+ * register definition sites, address-provenance (slot) resolution,
+ * function-pointer taint (the paper's decayed-pointer detection, §4.1.4),
+ * and a conservative escape analysis.
+ *
+ * The paper treats any pointer as a function pointer if (1) it is ever
+ * defined from a value of function pointer type, including via casts,
+ * or (2) other uses of its original value are ever cast to function
+ * pointer type. isTainted() implements exactly these two rules over the
+ * mini-IR's single-assignment registers; protectedSlots() lifts them to
+ * memory slots.
+ */
+
+#ifndef HQ_COMPILER_ANALYSIS_H
+#define HQ_COMPILER_ANALYSIS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace hq {
+
+/** Location of the instruction defining a register. */
+struct DefSite
+{
+    int block = -1;
+    int index = -1;
+    bool valid() const { return block >= 0; }
+};
+
+/** Best-effort static resolution of an address register to a slot. */
+struct SlotRef
+{
+    enum class Base : std::uint8_t {
+        None,    //!< not an address we can reason about
+        Stack,   //!< an Alloca slot (id = alloca ordinal)
+        Global,  //!< a module global (id = global id)
+        Unknown, //!< address derived from unresolvable data
+    };
+
+    Base base = Base::None;
+    int id = -1;
+    std::uint64_t offset = 0;
+    bool exact_offset = false;
+
+    bool resolved() const
+    {
+        return base == Base::Stack || base == Base::Global;
+    }
+
+    bool
+    operator==(const SlotRef &other) const
+    {
+        return base == other.base && id == other.id &&
+               offset == other.offset &&
+               exact_offset == other.exact_offset;
+    }
+
+    /** Hashable key ignoring offset exactness. */
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(base) << 56) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id))
+                << 24) |
+               (offset & 0xFFFFFF);
+    }
+};
+
+/** Analyses for one function; built once, queried by every pass. */
+class FunctionAnalysis
+{
+  public:
+    FunctionAnalysis(const ir::Module &module,
+                     const ir::Function &function);
+
+    const ir::Function &function() const { return _function; }
+
+    /** Definition site of a register (invalid for parameters). */
+    DefSite def(int reg) const;
+
+    /** The instruction defining reg, or nullptr. */
+    const ir::Instr *defInstr(int reg) const;
+
+    /** Resolve an address register to a slot (transitively). */
+    SlotRef slotOf(int addr_reg) const;
+
+    /**
+     * Function-pointer taint: rule (1) defined from a funcptr value
+     * (FuncAddr, protected-typed Load, Cast chain), or rule (2) some use
+     * of the value is a cast to function-pointer type.
+     */
+    bool isTainted(int reg) const { return _tainted.count(reg) > 0; }
+
+    /**
+     * Slots that must be protected: a tainted or protected-typed value
+     * is stored there, or a protected-typed load reads from there.
+     */
+    bool isProtectedSlot(const SlotRef &slot) const;
+
+    /**
+     * Conservative escape: the slot's address flows into a call, is
+     * stored to memory, or is obscured by unresolvable arithmetic.
+     */
+    bool slotEscapes(const SlotRef &slot) const;
+
+    /** True when any offset of the given stack slot is protected. */
+    bool isProtectedStackSlot(int ordinal) const;
+
+    /** True when the given stack slot's address escapes. */
+    bool stackSlotEscapes(int ordinal) const;
+
+    /** Ordinal of an Alloca instruction (its stack-slot id). */
+    int allocaOrdinal(int block, int index) const;
+
+    /** Total number of Alloca instructions in the function. */
+    int numAllocas() const { return _num_allocas; }
+
+    /** Declared byte size of a stack slot (0 when unknown). */
+    std::uint64_t allocaSize(int ordinal) const;
+
+    /**
+     * True when a resolved store target provably stays inside its own
+     * slot. A false result means the access may be out of bounds (an
+     * attacker primitive or a variable index), so optimizations must
+     * treat it as clobbering *everything*.
+     */
+    bool accessInBounds(const SlotRef &slot,
+                        const ir::Module &module) const;
+
+  private:
+    void computeDefs();
+    void computeAllocaOrdinals();
+    void computeTaint();
+    void computeSlots();
+
+    const ir::Module &_module;
+    const ir::Function &_function;
+
+    std::vector<DefSite> _defs;
+    std::unordered_map<std::uint64_t, int> _alloca_ordinals; //!< key: block<<32|index
+    std::vector<std::uint64_t> _alloca_sizes;
+    int _num_allocas = 0;
+    std::unordered_set<int> _tainted;
+    std::unordered_set<std::uint64_t> _protected_slots; //!< SlotRef keys
+    std::unordered_set<std::uint64_t> _protected_bases; //!< base-only keys
+    std::unordered_set<std::uint64_t> _escaped_bases;   //!< base-only keys
+};
+
+} // namespace hq
+
+#endif // HQ_COMPILER_ANALYSIS_H

@@ -1,0 +1,37 @@
+#include "compiler/passes.h"
+
+namespace hq {
+
+using ir::Instr;
+using ir::IrOp;
+
+void
+DevirtualizationPass::run(ir::Module &module, StatSet &stats)
+{
+    for (ir::Function &function : module.functions) {
+        for (ir::BasicBlock &block : function.blocks) {
+            for (Instr &instr : block.instrs) {
+                if (instr.op != IrOp::VCall || instr.aux < 0)
+                    continue;
+                // Receiver class statically known (Virtual Pointer
+                // Invariance / Whole Program Devirtualization): the
+                // callee is the class's vtable slot entry. Direct calls
+                // need no CFI protection (§4.1.1).
+                const ir::ClassInfo &cls = module.classes[instr.aux];
+                const std::uint64_t slot = instr.imm;
+                if (slot >= cls.vtable.size())
+                    continue;
+                const int callee = cls.vtable[slot];
+                if (callee < 0)
+                    continue; // pure virtual slot
+                instr.op = IrOp::CallDirect;
+                instr.imm = static_cast<std::uint64_t>(callee);
+                instr.a = -1;
+                instr.aux = -1;
+                stats.increment("devirt.calls");
+            }
+        }
+    }
+}
+
+} // namespace hq

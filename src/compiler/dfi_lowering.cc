@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Data-flow integrity lowering (§4.3 / Castro et al. OSDI'06).
+ *
+ * Assigns every protected store instruction a dense writer id, computes
+ * per-slot reaching-writer sets with a flow-insensitive slot-based
+ * analysis (a store to a slot may reach any load of that slot), and
+ * inserts DFI-WRITE after protected stores and DFI-READ before
+ * protected loads. Loads of slots no store can reach carry only the
+ * initial-writer bit.
+ *
+ * "Protected" here means slots the caller's selector accepts; by
+ * default every resolved stack/global slot is protected, making this a
+ * whole-program DFI over named memory (heap accesses through
+ * unresolvable pointers are conservatively skipped, as in the original
+ * design's declared-objects focus).
+ */
+
+#include <unordered_map>
+
+#include "compiler/dfi_passes.h"
+
+namespace hq {
+
+using ir::Instr;
+using ir::IrOp;
+
+void
+DfiLoweringPass::run(ir::Module &module, StatSet &stats)
+{
+    // Pass 1 (module-wide): assign writer ids to stores and accumulate
+    // per-slot reaching-writer masks. Writer id 0 is the initial
+    // writer; ids are capped at 63 by wrapping (a sound widening: two
+    // stores sharing an id makes the check weaker, never wrong).
+    int next_writer = 1;
+    std::unordered_map<std::uint64_t, std::uint64_t> slot_masks;
+    // (function id, block, index) -> writer id
+    std::unordered_map<std::uint64_t, int> writer_ids;
+
+    auto siteKey = [](int func, int block, int index) {
+        return (static_cast<std::uint64_t>(func) << 40) |
+               (static_cast<std::uint64_t>(block) << 20) |
+               static_cast<std::uint64_t>(index);
+    };
+
+    for (const ir::Function &function : module.functions) {
+        const FunctionAnalysis fa(module, function);
+        for (int b = 0; b < static_cast<int>(function.blocks.size());
+             ++b) {
+            const auto &instrs = function.blocks[b].instrs;
+            for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+                if (instrs[i].op != IrOp::Store)
+                    continue;
+                const SlotRef slot = fa.slotOf(instrs[i].a);
+                if (!slot.resolved())
+                    continue;
+                const int writer = next_writer <= 63
+                                       ? next_writer++
+                                       : 1 + (next_writer++ % 63);
+                writer_ids[siteKey(function.id, b, i)] = writer;
+                slot_masks[slot.key()] |= 1ULL << writer;
+                // Inexact offsets may alias any offset of the base:
+                // fold into the base-wide mask via a synthetic key.
+                SlotRef base = slot;
+                base.offset = 0;
+                base.exact_offset = false;
+                slot_masks[base.key()] |= 1ULL << writer;
+            }
+        }
+    }
+
+    // Pass 2: rewrite each function, inserting the messages.
+    for (ir::Function &function : module.functions) {
+        const FunctionAnalysis fa(module, function);
+        std::vector<std::vector<Instr>> rewritten(function.blocks.size());
+
+        for (int b = 0; b < static_cast<int>(function.blocks.size());
+             ++b) {
+            const auto &instrs = function.blocks[b].instrs;
+            auto &out = rewritten[b];
+            out.reserve(instrs.size() + 4);
+            for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+                const Instr &instr = instrs[i];
+                if (instr.op == IrOp::Load &&
+                    !(instr.flags & ir::kFlagInstrumentation)) {
+                    const SlotRef slot = fa.slotOf(instr.a);
+                    if (slot.resolved()) {
+                        std::uint64_t mask = 1; // initial writer
+                        auto it = slot_masks.find(slot.key());
+                        if (it != slot_masks.end())
+                            mask |= it->second;
+                        SlotRef base = slot;
+                        base.offset = 0;
+                        base.exact_offset = false;
+                        auto bit = slot_masks.find(base.key());
+                        if (!slot.exact_offset &&
+                            bit != slot_masks.end())
+                            mask |= bit->second;
+                        Instr read;
+                        read.op = IrOp::DfiReadMsg;
+                        read.a = instr.a;
+                        read.imm = mask;
+                        read.flags = ir::kFlagInstrumentation;
+                        out.push_back(read);
+                        stats.increment("dfi.reads");
+                    }
+                    out.push_back(instr);
+                    continue;
+                }
+                out.push_back(instr);
+                if (instr.op == IrOp::Store) {
+                    auto it =
+                        writer_ids.find(siteKey(function.id, b, i));
+                    if (it != writer_ids.end()) {
+                        Instr write;
+                        write.op = IrOp::DfiWriteMsg;
+                        write.a = instr.a;
+                        write.imm =
+                            static_cast<std::uint64_t>(it->second);
+                        write.flags = ir::kFlagInstrumentation;
+                        out.push_back(write);
+                        stats.increment("dfi.writes");
+                    }
+                }
+            }
+        }
+        for (std::size_t b = 0; b < function.blocks.size(); ++b)
+            function.blocks[b].instrs = std::move(rewritten[b]);
+    }
+}
+
+} // namespace hq

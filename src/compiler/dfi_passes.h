@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Data-flow integrity instrumentation pass (§4.3). See dfi_lowering.cc
+ * for the analysis; pairs with policy/data_flow.h on the verifier side.
+ */
+
+#ifndef HQ_COMPILER_DFI_PASSES_H
+#define HQ_COMPILER_DFI_PASSES_H
+
+#include "compiler/passes.h"
+
+namespace hq {
+
+/**
+ * Assigns writer ids to resolved stores, computes slot-based
+ * reaching-writer masks, and inserts DFI-WRITE/DFI-READ messages.
+ */
+class DfiLoweringPass : public Pass
+{
+  public:
+    const char *name() const override { return "dfi-lowering"; }
+    void run(ir::Module &module, StatSet &stats) override;
+};
+
+} // namespace hq
+
+#endif // HQ_COMPILER_DFI_PASSES_H

@@ -1,0 +1,431 @@
+#include "compiler/passes.h"
+
+namespace hq {
+
+using ir::ArithKind;
+using ir::Instr;
+using ir::IrOp;
+using ir::TypeRef;
+
+namespace {
+
+/** Fresh register in a function being rewritten. */
+int
+freshReg(ir::Function &function)
+{
+    return function.num_regs++;
+}
+
+Instr
+makeInstr(IrOp op, int dest, int a, int b, std::uint64_t imm = 0)
+{
+    Instr instr;
+    instr.op = op;
+    instr.dest = dest;
+    instr.a = a;
+    instr.b = b;
+    instr.imm = imm;
+    instr.flags = ir::kFlagInstrumentation;
+    return instr;
+}
+
+/**
+ * Expand a VCall into explicit loads + indirect call, appending the
+ * per-design vtable-pointer protection. Returns the expansion.
+ */
+std::vector<Instr>
+expandVCall(ir::Function &function, const Instr &vcall, LoweringMode mode,
+            StatSet &stats)
+{
+    std::vector<Instr> out;
+
+    // r_vt = load [object]  (the writable vtable pointer, protected)
+    Instr vt_load;
+    vt_load.op = IrOp::Load;
+    vt_load.dest = freshReg(function);
+    vt_load.a = vcall.a;
+    vt_load.type = TypeRef::vtablePtr();
+
+    // Per-design protection of the vtable-pointer load.
+    switch (mode) {
+      case LoweringMode::Hq:
+        out.push_back(vt_load);
+        out.push_back(makeInstr(IrOp::HqCheck, -1, vcall.a, vt_load.dest));
+        stats.increment("lower.hq.checks");
+        break;
+      case LoweringMode::Ccfi:
+        out.push_back(vt_load);
+        {
+            Instr mac = makeInstr(IrOp::MacCheck, -1, vcall.a,
+                                  vt_load.dest);
+            mac.type = TypeRef::vtablePtr();
+            out.push_back(mac);
+        }
+        stats.increment("lower.ccfi.checks");
+        break;
+      case LoweringMode::Cpi:
+        // CPI relocates vtable pointers to the safe store.
+        vt_load.op = IrOp::SafeLoad;
+        out.push_back(vt_load);
+        stats.increment("lower.cpi.loads");
+        break;
+      case LoweringMode::ClangCfi:
+      case LoweringMode::None:
+        out.push_back(vt_load);
+        break;
+    }
+
+    // r_fn = load [r_vt + 8*slot]  (vtable entry: read-only memory)
+    Instr off;
+    off.op = IrOp::ConstInt;
+    off.dest = freshReg(function);
+    off.imm = vcall.imm * 8;
+    off.flags = ir::kFlagInstrumentation;
+    out.push_back(off);
+
+    Instr addr;
+    addr.op = IrOp::Arith;
+    addr.dest = freshReg(function);
+    addr.a = vt_load.dest;
+    addr.b = off.dest;
+    addr.aux = static_cast<int>(ArithKind::Add);
+    addr.flags = ir::kFlagInstrumentation;
+    out.push_back(addr);
+
+    Instr fn_load;
+    fn_load.op = IrOp::Load;
+    fn_load.dest = freshReg(function);
+    fn_load.a = addr.dest;
+    fn_load.type = TypeRef::funcPtr(-1);
+    fn_load.flags = ir::kFlagReadOnlySource; // vtables are read-only
+    out.push_back(fn_load);
+
+    if (mode == LoweringMode::ClangCfi) {
+        // Clang/LLVM CFI vcall check: target must be a virtual method
+        // of a compatible class. kAnyVtableClass models the common
+        // single-hierarchy case.
+        Instr check = makeInstr(IrOp::CfiTypeCheck, -1, fn_load.dest, -1,
+                                /*imm=*/ir::kAnyVtableClass);
+        out.push_back(check);
+        stats.increment("lower.clangcfi.checks");
+    }
+
+    Instr call;
+    call.op = IrOp::CallIndirect;
+    call.dest = vcall.dest;
+    call.a = fn_load.dest;
+    call.args = vcall.args;
+    call.type = TypeRef::funcPtr(-1);
+    call.flags = ir::kFlagReadOnlySource; // target from RO vtable
+    out.push_back(call);
+
+    return out;
+}
+
+} // namespace
+
+void
+InitialLoweringPass::runOnFunction(ir::Module &module,
+                                   ir::Function &function, StatSet &stats)
+{
+    const FunctionAnalysis fa(module, function);
+    const LoweringMode mode = _options.mode;
+
+    // Protected stack slots (for HQ invalidation at returns): ordinal ->
+    // the register holding the slot address.
+    std::vector<std::pair<int, int>> protected_allocas;
+    if (mode == LoweringMode::Hq) {
+        for (int b = 0; b < static_cast<int>(function.blocks.size()); ++b) {
+            const auto &instrs = function.blocks[b].instrs;
+            for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+                if (instrs[i].op != IrOp::Alloca)
+                    continue;
+                const int ordinal = fa.allocaOrdinal(b, i);
+                if (fa.isProtectedStackSlot(ordinal))
+                    protected_allocas.emplace_back(ordinal,
+                                                   instrs[i].dest);
+            }
+        }
+    }
+
+    // Decide + rewrite into fresh block vectors (the analysis holds
+    // references into the original ones).
+    std::vector<std::vector<Instr>> rewritten(function.blocks.size());
+
+    for (int b = 0; b < static_cast<int>(function.blocks.size()); ++b) {
+        const auto &instrs = function.blocks[b].instrs;
+        auto &out = rewritten[b];
+        out.reserve(instrs.size() + 8);
+
+        for (const Instr &instr : instrs) {
+            switch (instr.op) {
+              case IrOp::VCall: {
+                auto expansion = expandVCall(function, instr, mode, stats);
+                out.insert(out.end(), expansion.begin(), expansion.end());
+                stats.increment("lower.vcalls_expanded");
+                continue;
+              }
+
+              case IrOp::Store: {
+                const bool typed = instr.type.isProtectedPtr();
+                const bool tainted = fa.isTainted(instr.b);
+                switch (mode) {
+                  case LoweringMode::Hq:
+                    // Value-based: runtime address, no aliasing blind
+                    // spot (§4.1.2).
+                    out.push_back(instr);
+                    if (typed || tainted) {
+                        out.push_back(makeInstr(IrOp::HqDefine, -1,
+                                                instr.a, instr.b));
+                        stats.increment("lower.hq.defines");
+                    }
+                    continue;
+                  case LoweringMode::Ccfi:
+                    // Type-based only: decayed stores silently skip the
+                    // MAC (their false-positive source).
+                    out.push_back(instr);
+                    if (typed) {
+                        Instr mac = makeInstr(IrOp::MacDefine, -1,
+                                              instr.a, instr.b);
+                        mac.type = instr.type;
+                        out.push_back(mac);
+                        stats.increment("lower.ccfi.defines");
+                    }
+                    continue;
+                  case LoweringMode::Cpi:
+                    // Type-based redirection to the safe store; decayed
+                    // stores are missed (their correctness-bug source).
+                    if (typed) {
+                        Instr redirect = instr;
+                        redirect.op = IrOp::SafeStore;
+                        out.push_back(redirect);
+                        stats.increment("lower.cpi.stores");
+                    } else {
+                        out.push_back(instr);
+                    }
+                    continue;
+                  default:
+                    out.push_back(instr);
+                    continue;
+                }
+              }
+
+              case IrOp::Load: {
+                const bool readonly =
+                    (instr.flags & ir::kFlagReadOnlySource) != 0;
+                const bool typed = instr.type.isProtectedPtr();
+                const SlotRef slot = fa.slotOf(instr.a);
+                const bool protected_slot = fa.isProtectedSlot(slot);
+                switch (mode) {
+                  case LoweringMode::Hq:
+                    out.push_back(instr);
+                    if (!readonly && (typed || protected_slot)) {
+                        out.push_back(makeInstr(IrOp::HqCheck, -1,
+                                                instr.a, instr.dest));
+                        stats.increment("lower.hq.checks");
+                    }
+                    continue;
+                  case LoweringMode::Ccfi:
+                    out.push_back(instr);
+                    if (!readonly && typed) {
+                        Instr mac = makeInstr(IrOp::MacCheck, -1, instr.a,
+                                              instr.dest);
+                        mac.type = instr.type;
+                        out.push_back(mac);
+                        stats.increment("lower.ccfi.checks");
+                    }
+                    continue;
+                  case LoweringMode::Cpi:
+                    if (!readonly && typed) {
+                        Instr redirect = instr;
+                        redirect.op = IrOp::SafeLoad;
+                        out.push_back(redirect);
+                        stats.increment("lower.cpi.loads");
+                    } else {
+                        out.push_back(instr);
+                    }
+                    continue;
+                  default:
+                    out.push_back(instr);
+                    continue;
+                }
+              }
+
+              case IrOp::CallIndirect: {
+                if (mode == LoweringMode::ClangCfi &&
+                    !(instr.flags & ir::kFlagReadOnlySource)) {
+                    // Signature-class check at the indirect call site.
+                    out.push_back(makeInstr(
+                        IrOp::CfiTypeCheck, -1, instr.a, -1,
+                        static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                            instr.type.signature_class))));
+                    stats.increment("lower.clangcfi.checks");
+                }
+                out.push_back(instr);
+                continue;
+              }
+
+              case IrOp::Setjmp: {
+                out.push_back(instr);
+                if (mode == LoweringMode::Hq) {
+                    // Protect the jmp_buf's internal pointer: define on
+                    // setjmp, check before every longjmp (§4.1.3).
+                    Instr reload;
+                    reload.op = IrOp::Load;
+                    reload.dest = freshReg(function);
+                    reload.a = instr.a;
+                    reload.type = TypeRef::dataPtr();
+                    reload.flags = ir::kFlagInstrumentation |
+                                   ir::kFlagReadOnlySource;
+                    out.push_back(reload);
+                    out.push_back(makeInstr(IrOp::HqDefine, -1, instr.a,
+                                            reload.dest));
+                    stats.increment("lower.hq.defines");
+                }
+                continue;
+              }
+
+              case IrOp::Longjmp: {
+                if (mode == LoweringMode::Hq) {
+                    Instr reload;
+                    reload.op = IrOp::Load;
+                    reload.dest = freshReg(function);
+                    reload.a = instr.a;
+                    reload.type = TypeRef::dataPtr();
+                    reload.flags = ir::kFlagInstrumentation |
+                                   ir::kFlagReadOnlySource;
+                    out.push_back(reload);
+                    out.push_back(makeInstr(IrOp::HqCheck, -1, instr.a,
+                                            reload.dest));
+                    stats.increment("lower.hq.checks");
+                }
+                out.push_back(instr);
+                continue;
+              }
+
+              case IrOp::Ret: {
+                if (mode == LoweringMode::Hq) {
+                    // Invalidate protected stack slots on scope exit:
+                    // this is what adds use-after-free detection on
+                    // control-flow pointers (§4.1.2).
+                    for (const auto &[ordinal, reg] : protected_allocas) {
+                        out.push_back(
+                            makeInstr(IrOp::HqInvalidate, -1, reg, -1));
+                        stats.increment("lower.hq.invalidates");
+                    }
+                }
+                out.push_back(instr);
+                continue;
+              }
+
+              default:
+                out.push_back(instr);
+                continue;
+            }
+        }
+    }
+
+    for (std::size_t b = 0; b < function.blocks.size(); ++b)
+        function.blocks[b].instrs = std::move(rewritten[b]);
+
+    // Return-pointer protection attributes (§4.1.6): functions that may
+    // write to memory, are known to return, and contain stack
+    // allocations.
+    bool writes_memory = false;
+    bool has_alloca = false;
+    bool has_ret = false;
+    bool has_call = false;
+    for (const auto &block : function.blocks) {
+        for (const Instr &instr : block.instrs) {
+            writes_memory |= instr.op == IrOp::Store ||
+                             instr.op == IrOp::Memcpy ||
+                             instr.op == IrOp::Memmove;
+            has_alloca |= instr.op == IrOp::Alloca;
+            has_ret |= instr.op == IrOp::Ret;
+            has_call |= instr.isCall();
+        }
+    }
+    if (mode == LoweringMode::Hq && _options.retptr_messages) {
+        if ((writes_memory || has_call) && has_ret && has_alloca) {
+            function.attrs.instrument_return = true;
+            stats.increment("lower.retptr_functions");
+        }
+    }
+    if (mode == LoweringMode::Ccfi) {
+        // CCFI MACs every returning frame's return pointer.
+        if (has_ret) {
+            function.attrs.instrument_return = true;
+            stats.increment("lower.retptr_functions");
+        }
+    }
+}
+
+void
+InitialLoweringPass::run(ir::Module &module, StatSet &stats)
+{
+    for (ir::Function &function : module.functions)
+        runOnFunction(module, function, stats);
+}
+
+void
+FinalLoweringPass::run(ir::Module &module, StatSet &stats)
+{
+    if (_options.mode != LoweringMode::Hq) {
+        // Block-op messages are an HQ mechanism; baselines handle block
+        // memory through their own runtime (CPI) or not at all.
+        return;
+    }
+    for (ir::Function &function : module.functions) {
+        for (ir::BasicBlock &block : function.blocks) {
+            for (Instr &instr : block.instrs) {
+                switch (instr.op) {
+                  case IrOp::Memcpy:
+                  case IrOp::Memmove: {
+                    // Strict subtype checking (§4.1.4): skip block ops
+                    // whose element type statically cannot contain
+                    // control-flow pointers — unless the enclosing
+                    // function is allowlisted (decayed inter-procedural
+                    // pointers defeat the static check).
+                    bool may_have_ptrs = true;
+                    if (_options.strict_subtype_check) {
+                        switch (instr.type.kind) {
+                          case ir::TypeKind::Int:
+                          case ir::TypeKind::DataPtr:
+                            may_have_ptrs = false;
+                            break;
+                          case ir::TypeKind::Struct:
+                            may_have_ptrs = module.structContainsFuncPtr(
+                                instr.type.struct_id);
+                            break;
+                          default:
+                            may_have_ptrs = true;
+                            break;
+                        }
+                    }
+                    if (_options.use_allowlist &&
+                        function.attrs.block_op_allowlisted)
+                        may_have_ptrs = true;
+                    if (may_have_ptrs) {
+                        instr.flags |= ir::kFlagEmitBlockMsg;
+                        stats.increment("lower.block_ops");
+                    } else {
+                        stats.increment("lower.block_ops_elided");
+                    }
+                    break;
+                  }
+                  case IrOp::Free:
+                  case IrOp::Realloc:
+                    // The recompiled allocator always reports frees and
+                    // reallocs; sizes are known at runtime.
+                    instr.flags |= ir::kFlagEmitBlockMsg;
+                    stats.increment("lower.block_ops");
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace hq

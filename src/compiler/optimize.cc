@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Store-to-load forwarding and message elision (§4.1.4).
+ */
+
+#include <unordered_set>
+
+#include "compiler/passes.h"
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+
+namespace hq {
+
+using ir::Instr;
+using ir::IrOp;
+
+namespace {
+
+/** Position of an instruction inside a function. */
+struct Site
+{
+    int block = -1;
+    int index = -1;
+};
+
+/**
+ * Does instr clobber the (resolved, exact) slot? Clobbers force the
+ * next check of the slot to stay.
+ */
+bool
+clobbers(const FunctionAnalysis &fa, const ir::Module &module,
+         const Instr &instr, const SlotRef &slot, bool slot_escapes)
+{
+    switch (instr.op) {
+      case IrOp::Store:
+      case IrOp::SafeStore: {
+        const SlotRef target = fa.slotOf(instr.a);
+        if (!target.resolved())
+            return true; // unknown destination may alias anything
+        // A store that may leave its own slot (variable index or a
+        // provably out-of-bounds offset) can alias *any* memory —
+        // including the slot being forwarded. Eliding the check here
+        // would let an out-of-bounds overwrite go unobserved.
+        if (!fa.accessInBounds(target, module))
+            return true;
+        if (target.base != slot.base || target.id != slot.id)
+            return false;
+        // Same base, both offsets exact and in bounds: field-sensitive.
+        return target.offset == slot.offset;
+      }
+      case IrOp::Memcpy:
+      case IrOp::Memmove:
+      case IrOp::Free:
+      case IrOp::Realloc: {
+        const SlotRef target = fa.slotOf(instr.a);
+        if (!target.resolved())
+            return true;
+        return target.base == slot.base && target.id == slot.id;
+      }
+      case IrOp::CallDirect:
+      case IrOp::CallIndirect:
+      case IrOp::VCall:
+        // Callees can only touch the slot if its address escaped.
+        return slot_escapes;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+StoreToLoadForwardingPass::run(ir::Module &module, StatSet &stats)
+{
+    for (ir::Function &function : module.functions) {
+        if (function.attrs.returns_twice)
+            continue; // setjmp-like functions are excluded (§4.1.4)
+
+        const FunctionAnalysis fa(module, function);
+        const ir::Cfg cfg(function);
+        const ir::DominatorTree dom(cfg);
+
+        // Gather HqCheck sites and HqDefine/HqCheck "facts" per slot.
+        struct Fact
+        {
+            Site site;
+            SlotRef slot;
+        };
+        std::vector<Fact> facts;   // defines and surviving checks
+        std::vector<Fact> checks;  // candidate checks for elision
+
+        for (int b = 0; b < static_cast<int>(function.blocks.size()); ++b) {
+            const auto &instrs = function.blocks[b].instrs;
+            for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+                const Instr &instr = instrs[i];
+                if (instr.op != IrOp::HqDefine &&
+                    instr.op != IrOp::HqCheck)
+                    continue;
+                const SlotRef slot = fa.slotOf(instr.a);
+                if (!slot.resolved() || !slot.exact_offset)
+                    continue;
+                Fact fact{Site{b, i}, slot};
+                facts.push_back(fact);
+                if (instr.op == IrOp::HqCheck)
+                    checks.push_back(fact);
+            }
+        }
+
+        std::unordered_set<std::uint64_t> to_elide; // block<<32|index
+        bool crossed_call = false;
+
+        for (const Fact &check : checks) {
+            // The checked load itself precedes the HqCheck; volatile
+            // loads are excluded from forwarding.
+            const auto &check_block =
+                function.blocks[check.site.block].instrs;
+            if (check.site.index > 0) {
+                const Instr &load = check_block[check.site.index - 1];
+                if (load.op == IrOp::Load &&
+                    (load.flags & ir::kFlagVolatile))
+                    continue;
+            }
+
+            const bool escapes = fa.slotEscapes(check.slot);
+
+            // Find a dominating fact for the same slot, then prove no
+            // clobber on any path between it and the check.
+            for (const Fact &fact : facts) {
+                if (fact.site.block == check.site.block &&
+                    fact.site.index == check.site.index)
+                    continue;
+                if (!(fact.slot == check.slot))
+                    continue;
+
+                const bool same_block =
+                    fact.site.block == check.site.block;
+                if (same_block) {
+                    if (fact.site.index >= check.site.index)
+                        continue;
+                } else if (!dom.dominates(fact.site.block,
+                                          check.site.block)) {
+                    continue;
+                }
+
+                // Collect blocks on paths fact -> check: blocks
+                // reachable from fact.block without passing through the
+                // check's block (plus both endpoints' partial ranges).
+                bool clobbered = false;
+                bool crossed_call_here = false;
+                auto scanRange = [&](int block, int begin, int end) {
+                    const auto &instrs = function.blocks[block].instrs;
+                    for (int i = begin; i < end && !clobbered; ++i) {
+                        if (instrs[i].isCall())
+                            crossed_call_here = true;
+                        if (clobbers(fa, module, instrs[i], check.slot,
+                                     escapes))
+                            clobbered = true;
+                    }
+                };
+
+                if (same_block) {
+                    scanRange(check.site.block, fact.site.index + 1,
+                              check.site.index);
+                } else {
+                    scanRange(fact.site.block, fact.site.index + 1,
+                              static_cast<int>(
+                                  function.blocks[fact.site.block]
+                                      .instrs.size()));
+                    scanRange(check.site.block, 0, check.site.index);
+                    // Intermediate blocks: DFS from fact.block to
+                    // check.block.
+                    std::vector<int> worklist{fact.site.block};
+                    std::unordered_set<int> visited{fact.site.block,
+                                                    check.site.block};
+                    while (!worklist.empty() && !clobbered) {
+                        const int cur = worklist.back();
+                        worklist.pop_back();
+                        for (int succ : cfg.successors(cur)) {
+                            if (visited.count(succ))
+                                continue;
+                            visited.insert(succ);
+                            scanRange(succ, 0,
+                                      static_cast<int>(
+                                          function.blocks[succ]
+                                              .instrs.size()));
+                            worklist.push_back(succ);
+                        }
+                    }
+                }
+
+                if (!clobbered) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(check.site.block)
+                         << 32) |
+                        static_cast<std::uint32_t>(check.site.index);
+                    if (to_elide.insert(key).second) {
+                        stats.increment("optimize.checks_forwarded");
+                        if (crossed_call_here)
+                            crossed_call = true;
+                    }
+                    break;
+                }
+            }
+        }
+
+        if (to_elide.empty())
+            continue;
+
+        // Erase elided checks.
+        for (int b = static_cast<int>(function.blocks.size()) - 1; b >= 0;
+             --b) {
+            auto &instrs = function.blocks[b].instrs;
+            for (int i = static_cast<int>(instrs.size()) - 1; i >= 0;
+                 --i) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(b) << 32) |
+                    static_cast<std::uint32_t>(i);
+                if (to_elide.count(key))
+                    instrs.erase(instrs.begin() + i);
+            }
+        }
+
+        // Runtime recursion guard (§4.1.4): when forwarding crossed a
+        // call site, guard the optimized function — if the guard is
+        // still set upon re-entry, the program must be terminated and
+        // recompiled without this optimization.
+        if (crossed_call) {
+            Instr enter;
+            enter.op = IrOp::HqGuardEnter;
+            enter.aux = function.id;
+            enter.flags = ir::kFlagInstrumentation;
+            auto &entry = function.blocks[0].instrs;
+            entry.insert(entry.begin(), enter);
+            for (auto &block : function.blocks) {
+                for (int i = static_cast<int>(block.instrs.size()) - 1;
+                     i >= 0; --i) {
+                    if (block.instrs[i].op == IrOp::Ret) {
+                        Instr exit_guard;
+                        exit_guard.op = IrOp::HqGuardExit;
+                        exit_guard.aux = function.id;
+                        exit_guard.flags = ir::kFlagInstrumentation;
+                        block.instrs.insert(block.instrs.begin() + i,
+                                            exit_guard);
+                    }
+                }
+            }
+            stats.increment("optimize.guarded_functions");
+        }
+    }
+}
+
+void
+MessageElisionPass::run(ir::Module &module, StatSet &stats)
+{
+    // Module-wide sweep: which global slots are ever checked? (Local
+    // stack slots cannot be checked outside their function unless they
+    // escape, which the per-function logic accounts for.)
+    std::unordered_set<std::uint64_t> checked_globals;
+    for (const ir::Function &function : module.functions) {
+        const FunctionAnalysis fa(module, function);
+        for (const auto &block : function.blocks) {
+            for (const Instr &instr : block.instrs) {
+                if (instr.op != IrOp::HqCheck &&
+                    instr.op != IrOp::HqCheckInvalidate)
+                    continue;
+                const SlotRef slot = fa.slotOf(instr.a);
+                if (slot.base == SlotRef::Base::Global)
+                    checked_globals.insert(slot.key());
+            }
+        }
+    }
+
+    for (ir::Function &function : module.functions) {
+        const FunctionAnalysis fa(module, function);
+
+        // Per-function: stack slots with at least one surviving check.
+        std::unordered_set<int> checked_stack_slots;
+        for (const auto &block : function.blocks) {
+            for (const Instr &instr : block.instrs) {
+                if (instr.op != IrOp::HqCheck &&
+                    instr.op != IrOp::HqCheckInvalidate)
+                    continue;
+                const SlotRef slot = fa.slotOf(instr.a);
+                if (slot.base == SlotRef::Base::Stack)
+                    checked_stack_slots.insert(slot.id);
+            }
+        }
+
+        for (auto &block : function.blocks) {
+            auto &instrs = block.instrs;
+            std::vector<Instr> out;
+            out.reserve(instrs.size());
+            SlotRef last_invalidated; // local dedup of invalidates
+
+            for (const Instr &instr : instrs) {
+                if (instr.op == IrOp::HqDefine ||
+                    instr.op == IrOp::HqInvalidate) {
+                    const SlotRef slot = fa.slotOf(instr.a);
+                    // Never-checked, non-escaping stack slot: the
+                    // define/invalidate pair is superfluous (§4.1.4).
+                    if (slot.base == SlotRef::Base::Stack &&
+                        !fa.stackSlotEscapes(slot.id) &&
+                        !checked_stack_slots.count(slot.id)) {
+                        stats.increment(
+                            instr.op == IrOp::HqDefine
+                                ? "optimize.defines_elided"
+                                : "optimize.invalidates_elided");
+                        continue;
+                    }
+                }
+
+                if (instr.op == IrOp::HqInvalidate) {
+                    const SlotRef slot = fa.slotOf(instr.a);
+                    // Duplicate invalidate of the same slot with no
+                    // intervening define (inlined C++ destructors).
+                    if (slot.resolved() && slot == last_invalidated) {
+                        stats.increment("optimize.invalidates_elided");
+                        continue;
+                    }
+                    last_invalidated = slot;
+                } else if (instr.op == IrOp::HqDefine ||
+                           instr.op == IrOp::Store ||
+                           instr.isCall()) {
+                    last_invalidated = SlotRef{};
+                }
+
+                out.push_back(instr);
+            }
+            instrs = std::move(out);
+        }
+    }
+}
+
+} // namespace hq

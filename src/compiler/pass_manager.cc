@@ -1,0 +1,35 @@
+#include "compiler/passes.h"
+
+#include "common/log.h"
+#include "ir/verify.h"
+
+namespace hq {
+
+void
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    _passes.push_back(std::move(pass));
+}
+
+Status
+PassManager::run(ir::Module &module)
+{
+    Status status = ir::verifyModule(module);
+    if (!status.isOk()) {
+        return Status::error(status.code(),
+                             "pre-pass verification: " + status.message());
+    }
+    for (auto &pass : _passes) {
+        pass->run(module, _stats);
+        status = ir::verifyModule(module);
+        if (!status.isOk()) {
+            return Status::error(status.code(),
+                                 std::string("after ") + pass->name() +
+                                     ": " + status.message());
+        }
+        logDebug("pass ", pass->name(), " done on ", module.name);
+    }
+    return Status::ok();
+}
+
+} // namespace hq

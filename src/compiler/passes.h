@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Compiler instrumentation passes (paper §3.2, §4.1.4).
+ *
+ * The pass pipeline mirrors the paper's three-stage structure:
+ *
+ *  1. Devirtualization (Clang/LLVM's C++ optimizations): convert
+ *     virtual calls with statically-known receivers into direct calls
+ *     that need no protection.
+ *  2. Initial lowering: insert define/check/invalidate instrumentation
+ *     at protected pointer operations. The *mechanism* differs per CFI
+ *     design and reproduces each design's characteristic blind spots:
+ *       - HQ       : value-based; messages use runtime addresses, so
+ *                    pointer aliasing cannot cause misses (§4.1.2).
+ *       - ClangCFI : signature-class checks at indirect calls only;
+ *                    casts/decay change the static class => false
+ *                    positives, coarse classes => code-reuse gaps.
+ *       - CCFI     : MAC define/check keyed by static type at every
+ *                    typed funcptr access; decayed accesses skip the
+ *                    MAC => false positives on later checks.
+ *       - CPI      : loads/stores redirected to the safe store only
+ *                    when static analysis resolves the slot; unresolved
+ *                    aliased accesses are missed => correctness bugs.
+ *  3. Optimization + final lowering: store-to-load forwarding, message
+ *     elision, block-memory-op instrumentation under strict subtype
+ *     checking with an allowlist, and System-Call message placement
+ *     using dominators/post-dominators.
+ */
+
+#ifndef HQ_COMPILER_PASSES_H
+#define HQ_COMPILER_PASSES_H
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "compiler/analysis.h"
+#include "ir/module.h"
+
+namespace hq {
+
+/** Which CFI design's instrumentation to emit. */
+enum class LoweringMode {
+    None,     //!< baseline: no instrumentation
+    Hq,       //!< HerQules pointer-integrity messages
+    ClangCfi, //!< Clang/LLVM CFI type checks
+    Ccfi,     //!< cryptographic MACs
+    Cpi,      //!< safe-store relocation
+};
+
+/** Options shared by the instrumentation passes. */
+struct LoweringOptions
+{
+    LoweringMode mode = LoweringMode::Hq;
+    /** HQ-CFI-RetPtr: message-protect return pointers (§4.1.5). */
+    bool retptr_messages = false;
+    /** Strict subtype checking on block memory operations (§4.1.4). */
+    bool strict_subtype_check = true;
+    /** Honor per-function block-op allowlist attributes. */
+    bool use_allowlist = true;
+};
+
+/** One IR-to-IR transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual const char *name() const = 0;
+    virtual void run(ir::Module &module, StatSet &stats) = 0;
+};
+
+/** Runs passes in order, verifying the module after each. */
+class PassManager
+{
+  public:
+    void add(std::unique_ptr<Pass> pass);
+
+    /** @return the first verification failure, or Ok. */
+    Status run(ir::Module &module);
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> _passes;
+    StatSet _stats;
+};
+
+/**
+ * C++ devirtualization (§4.1.4 "C++ Devirtualization"): VCall sites
+ * whose receiver class is statically known become direct calls.
+ * Models Virtual Pointer Invariance + Whole Program Devirtualization.
+ */
+class DevirtualizationPass : public Pass
+{
+  public:
+    const char *name() const override { return "devirtualize"; }
+    void run(ir::Module &module, StatSet &stats) override;
+};
+
+/**
+ * Initial lowering (§4.1.4): expand remaining VCalls into explicit
+ * vtable-pointer loads, then insert per-design instrumentation at
+ * protected stores/loads, invalidation of protected stack slots at
+ * returns, and (for HQ-CFI-RetPtr / CCFI) return-pointer protection
+ * function attributes.
+ */
+class InitialLoweringPass : public Pass
+{
+  public:
+    explicit InitialLoweringPass(const LoweringOptions &options)
+        : _options(options)
+    {}
+
+    const char *name() const override { return "initial-lowering"; }
+    void run(ir::Module &module, StatSet &stats) override;
+
+  private:
+    void runOnFunction(ir::Module &module, ir::Function &function,
+                       StatSet &stats);
+    LoweringOptions _options;
+};
+
+/**
+ * Store-to-load forwarding (§4.1.4): a field-sensitive optimization
+ * that elides HqChecks on loads dominated by a define/check of the same
+ * slot with no intervening clobber. Excludes volatile accesses and
+ * returns-twice functions; inserts the runtime recursion guard when an
+ * elision crosses a call site.
+ */
+class StoreToLoadForwardingPass : public Pass
+{
+  public:
+    const char *name() const override { return "store-to-load-forwarding"; }
+    void run(ir::Module &module, StatSet &stats) override;
+};
+
+/**
+ * Message elision (§4.1.4): removes defines (and their invalidates) of
+ * non-escaping stack slots that are never checked, and deduplicates
+ * consecutive invalidates (inlined C++ destructors).
+ */
+class MessageElisionPass : public Pass
+{
+  public:
+    const char *name() const override { return "message-elision"; }
+    void run(ir::Module &module, StatSet &stats) override;
+};
+
+/**
+ * Final lowering (§4.1.4): instrument block memory operations
+ * (memcpy/memmove/realloc/free) with block messages, eliding
+ * operations whose element type statically cannot contain control-flow
+ * pointers (strict subtype checking) unless the enclosing function is
+ * allowlisted.
+ */
+class FinalLoweringPass : public Pass
+{
+  public:
+    explicit FinalLoweringPass(const LoweringOptions &options)
+        : _options(options)
+    {}
+
+    const char *name() const override { return "final-lowering"; }
+    void run(ir::Module &module, StatSet &stats) override;
+
+  private:
+    LoweringOptions _options;
+};
+
+/**
+ * System-Call message placement (§3.2): before every syscall
+ * instruction, insert the HqSyscallMsg at the earliest program point
+ * that dominates the syscall, is post-dominated by it, and is not
+ * separated from it by any other message or function call — hoisting
+ * through straight-line dominator chains so the message processing
+ * pipelines with the pre-syscall computation.
+ */
+class SyscallSyncPass : public Pass
+{
+  public:
+    /**
+     * @param elide_readonly skip System-Call messages for read-only
+     *        syscalls (paired with the kernel's matching elision).
+     */
+    explicit SyscallSyncPass(bool elide_readonly = false)
+        : _elide_readonly(elide_readonly)
+    {}
+
+    const char *name() const override { return "syscall-sync"; }
+    void run(ir::Module &module, StatSet &stats) override;
+
+  private:
+    bool _elide_readonly;
+};
+
+} // namespace hq
+
+#endif // HQ_COMPILER_PASSES_H

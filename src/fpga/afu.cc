@@ -1,0 +1,96 @@
+#include "fpga/afu.h"
+
+#include <chrono>
+
+namespace hq {
+
+FpgaAfu::FpgaAfu(const FpgaConfig &config)
+    : _config(config), _host_buffer(config.host_buffer_messages)
+{
+}
+
+int
+FpgaAfu::mmioWritesFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::Init:
+      case Opcode::Syscall:
+      case Opcode::BlockSize:
+      case Opcode::PointerInvalidate:
+      case Opcode::AllocCheck:
+      case Opcode::AllocDestroy:
+      case Opcode::Heartbeat:
+        return 1; // single argument: commit register only
+      default:
+        return 2; // arg0 latch + commit register
+    }
+}
+
+void
+FpgaAfu::stallForMmioWrite() const
+{
+    if (!_config.model_latency || _config.mmio_write_ns == 0)
+        return;
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::nanoseconds(_config.mmio_write_ns);
+    while (Clock::now() < deadline) {
+        // Busy-wait: uncached MMIO stores occupy store-buffer entries
+        // until retirement, stalling the sender core.
+    }
+}
+
+void
+FpgaAfu::mmioWrite(std::uint32_t offset, std::uint64_t data)
+{
+    stallForMmioWrite();
+
+    if (offset == kRegArg0) {
+        _arg0_latch = data;
+        return;
+    }
+
+    const std::uint32_t commit_end =
+        kRegCommitBase +
+        8 * static_cast<std::uint32_t>(Opcode::NumOpcodes);
+    if (offset >= kRegCommitBase && offset < commit_end &&
+        (offset & 7) == 0) {
+        const auto op =
+            static_cast<Opcode>((offset - kRegCommitBase) / 8);
+
+        Message message;
+        message.op = op;
+        if (mmioWritesFor(op) == 1) {
+            message.arg0 = data;
+        } else {
+            message.arg0 = _arg0_latch;
+            message.arg1 = data;
+        }
+        message.pid = _pid_register.load(std::memory_order_relaxed);
+        message.seq = _next_seq++;
+
+        if (!_host_buffer.tryPush(message)) {
+            // No back-pressure mechanism: the message is lost. The
+            // verifier will observe a gap in the sequence counter and
+            // must terminate the monitored program (integrity violation).
+            _dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+    }
+
+    // Posted writes to unmapped offsets complete without effect.
+}
+
+void
+FpgaAfu::setPidRegister(Pid pid)
+{
+    _pid_register.store(pid, std::memory_order_relaxed);
+}
+
+bool
+FpgaAfu::hostRead(Message &out)
+{
+    return _host_buffer.tryPop(out);
+}
+
+} // namespace hq

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract IPC channel between a monitored program and the verifier.
+ *
+ * Concrete channels correspond to the rows of the paper's Table 2:
+ * POSIX message queues, named pipes, sockets, raw shared memory,
+ * AppendWrite-FPGA, and AppendWrite-µarch (software model). Each channel
+ * declares its traits (append-only? asynchronous validation? primary
+ * cost) so the Table 2 harness can print the comparison.
+ */
+
+#ifndef HQ_IPC_CHANNEL_H
+#define HQ_IPC_CHANNEL_H
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ipc/message.h"
+
+namespace hq {
+
+/** Static properties of a channel kind (columns of Table 2). */
+struct ChannelTraits
+{
+    std::string name;
+    bool appendOnly = false;       //!< writers cannot alter sent messages
+    bool asyncValidation = false;  //!< send does not block on the reader
+    std::string primaryCost;       //!< e.g. "System Call", "Mem. Write"
+};
+
+/**
+ * Bidirectional endpoint pair abstraction: the monitored program calls
+ * send(); the verifier calls tryRecv(). Implementations are safe for one
+ * concurrent sender thread and one concurrent receiver thread.
+ */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /** Transmit one message; may block when the transport is full. */
+    virtual Status send(const Message &message) = 0;
+
+    /**
+     * Receive the next message if one is available.
+     * @return true and fills out when a message was dequeued.
+     */
+    virtual bool tryRecv(Message &out) = 0;
+
+    /** Approximate number of in-flight (sent but unreceived) messages. */
+    virtual std::size_t pending() const = 0;
+
+    /** Static channel properties. */
+    virtual const ChannelTraits &traits() const = 0;
+};
+
+/** The channel kinds evaluated in Table 2 and Figures 3-4. */
+enum class ChannelKind {
+    PosixMq,      //!< POSIX message queue (-MQ)
+    Pipe,         //!< named pipe
+    Socket,       //!< Unix datagram socket pair
+    SharedMemory, //!< raw shared memory (no append-only guarantee)
+    Fpga,         //!< AppendWrite-FPGA device model (-FPGA)
+    UarchModel,   //!< AppendWrite-µarch software model (-MODEL)
+    CrossProcess, //!< shared-memory ring usable across fork()
+};
+
+/** Name used for a channel kind in harness output. */
+const char *channelKindName(ChannelKind kind);
+
+/**
+ * Construct a channel of the given kind with the requested capacity
+ * (messages). Falls back with an error Status-bearing nullptr-free
+ * contract: construction failures abort via panic() since they indicate
+ * a misconfigured host (e.g. mq_open refused).
+ */
+std::unique_ptr<Channel> makeChannel(ChannelKind kind,
+                                     std::size_t capacity = 1 << 16);
+
+} // namespace hq
+
+#endif // HQ_IPC_CHANNEL_H

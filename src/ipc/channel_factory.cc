@@ -1,0 +1,52 @@
+#include "ipc/channel.h"
+
+#include "common/log.h"
+#include "fpga/fpga_channel.h"
+#include "ipc/posix_channels.h"
+#include "ipc/shm_channel.h"
+#include "ipc/xproc_ring.h"
+#include "uarch/uarch_model_channel.h"
+
+namespace hq {
+
+const char *
+channelKindName(ChannelKind kind)
+{
+    switch (kind) {
+      case ChannelKind::PosixMq: return "POSIX Message Queue";
+      case ChannelKind::Pipe: return "Named Pipe";
+      case ChannelKind::Socket: return "Socket";
+      case ChannelKind::SharedMemory: return "Shared Memory";
+      case ChannelKind::Fpga: return "AppendWrite-FPGA";
+      case ChannelKind::UarchModel: return "AppendWrite-uarch (MODEL)";
+      case ChannelKind::CrossProcess: return "Cross-process shared ring";
+    }
+    return "?";
+}
+
+std::unique_ptr<Channel>
+makeChannel(ChannelKind kind, std::size_t capacity)
+{
+    switch (kind) {
+      case ChannelKind::PosixMq:
+        return std::make_unique<MqChannel>(capacity);
+      case ChannelKind::Pipe:
+        return std::make_unique<PipeChannel>();
+      case ChannelKind::Socket:
+        return std::make_unique<SocketChannel>();
+      case ChannelKind::SharedMemory:
+        return std::make_unique<ShmChannel>(capacity);
+      case ChannelKind::Fpga: {
+        FpgaConfig config;
+        config.host_buffer_messages = capacity;
+        return std::make_unique<FpgaChannel>(config);
+      }
+      case ChannelKind::UarchModel:
+        return std::make_unique<UarchModelChannel>(capacity);
+      case ChannelKind::CrossProcess:
+        return std::make_unique<XprocChannel>(capacity);
+    }
+    panic("unknown channel kind");
+}
+
+} // namespace hq

@@ -1,0 +1,48 @@
+#include "ipc/message.h"
+
+#include <sstream>
+
+namespace hq {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Invalid: return "INVALID";
+      case Opcode::Init: return "INIT";
+      case Opcode::Syscall: return "SYSCALL";
+      case Opcode::BlockSize: return "BLOCK-SIZE";
+      case Opcode::PointerDefine: return "POINTER-DEFINE";
+      case Opcode::PointerCheck: return "POINTER-CHECK";
+      case Opcode::PointerInvalidate: return "POINTER-INVALIDATE";
+      case Opcode::PointerCheckInvalidate: return "POINTER-CHECK-INVALIDATE";
+      case Opcode::PointerBlockCopy: return "POINTER-BLOCK-COPY";
+      case Opcode::PointerBlockMove: return "POINTER-BLOCK-MOVE";
+      case Opcode::PointerBlockInvalidate: return "POINTER-BLOCK-INVALIDATE";
+      case Opcode::AllocCreate: return "ALLOCATION-CREATE";
+      case Opcode::AllocCheck: return "ALLOCATION-CHECK";
+      case Opcode::AllocCheckBase: return "ALLOCATION-CHECK-BASE";
+      case Opcode::AllocExtend: return "ALLOCATION-EXTEND";
+      case Opcode::AllocDestroy: return "ALLOCATION-DESTROY";
+      case Opcode::AllocDestroyAll: return "ALLOCATION-DESTROY-ALL";
+      case Opcode::EventCount: return "EVENT-COUNT";
+      case Opcode::Heartbeat: return "HEARTBEAT";
+      case Opcode::DfiWrite: return "DFI-WRITE";
+      case Opcode::DfiRead: return "DFI-READ";
+      case Opcode::TagSet: return "TAG-SET";
+      case Opcode::TagCheck: return "TAG-CHECK";
+      case Opcode::NumOpcodes: break;
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Message::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op) << "(0x" << std::hex << arg0 << ", 0x" << arg1
+       << ")" << std::dec << " pid=" << pid << " seq=" << seq;
+    return os.str();
+}
+
+} // namespace hq

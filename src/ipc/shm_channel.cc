@@ -1,0 +1,34 @@
+#include "ipc/shm_channel.h"
+
+#include <thread>
+
+namespace hq {
+
+ShmChannel::ShmChannel(std::size_t capacity)
+    : _ring(capacity),
+      _traits{"Shared Memory", /*appendOnly=*/false,
+              /*asyncValidation=*/true, "Mem. Write"}
+{
+}
+
+Status
+ShmChannel::send(const Message &message)
+{
+    while (!_ring.tryPush(message))
+        std::this_thread::yield();
+    return Status::ok();
+}
+
+bool
+ShmChannel::tryRecv(Message &out)
+{
+    return _ring.tryPop(out);
+}
+
+bool
+ShmChannel::corruptOldestPending(const Message &forged)
+{
+    return _ring.overwritePending(0, forged);
+}
+
+} // namespace hq

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Raw shared-memory channel — Table 2's "Shared Memory" row.
+ *
+ * Fast (a memory write) and asynchronous, but NOT append-only: any writer
+ * with the mapping can corrupt or erase previously-written messages before
+ * the verifier reads them. The corruptSlot() test hook demonstrates
+ * exactly that weakness; the AppendWrite channels reject the equivalent
+ * operation.
+ */
+
+#ifndef HQ_IPC_SHM_CHANNEL_H
+#define HQ_IPC_SHM_CHANNEL_H
+
+#include "ipc/channel.h"
+#include "ipc/spsc_ring.h"
+
+namespace hq {
+
+class ShmChannel : public Channel
+{
+  public:
+    explicit ShmChannel(std::size_t capacity);
+
+    Status send(const Message &message) override;
+    bool tryRecv(Message &out) override;
+    std::size_t pending() const override { return _ring.size(); }
+    const ChannelTraits &traits() const override { return _traits; }
+
+    /**
+     * Model a compromised writer overwriting an already-sent message in
+     * place (the integrity failure that motivates AppendWrite).
+     * @return true when an unread message was corrupted.
+     */
+    bool corruptOldestPending(const Message &forged);
+
+  private:
+    SpscRing _ring;
+    ChannelTraits _traits;
+};
+
+} // namespace hq
+
+#endif // HQ_IPC_SHM_CHANNEL_H

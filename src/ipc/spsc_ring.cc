@@ -1,0 +1,67 @@
+#include "ipc/spsc_ring.h"
+
+namespace hq {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t value)
+{
+    std::size_t pow2 = 1;
+    while (pow2 < value)
+        pow2 <<= 1;
+    return pow2;
+}
+
+} // namespace
+
+SpscRing::SpscRing(std::size_t min_capacity)
+    : _slots(roundUpPow2(min_capacity ? min_capacity : 1)),
+      _mask(_slots.size() - 1)
+{
+}
+
+bool
+SpscRing::tryPush(const Message &message)
+{
+    const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = _head.load(std::memory_order_acquire);
+    if (tail - head > _mask)
+        return false; // full
+    _slots[tail & _mask] = message;
+    _tail.store(tail + 1, std::memory_order_release);
+    return true;
+}
+
+bool
+SpscRing::tryPop(Message &out)
+{
+    const std::uint64_t head = _head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = _tail.load(std::memory_order_acquire);
+    if (head == tail)
+        return false; // empty
+    out = _slots[head & _mask];
+    _head.store(head + 1, std::memory_order_release);
+    return true;
+}
+
+bool
+SpscRing::overwritePending(std::size_t index, const Message &forged)
+{
+    const std::uint64_t head = _head.load(std::memory_order_acquire);
+    const std::uint64_t tail = _tail.load(std::memory_order_acquire);
+    if (head + index >= tail)
+        return false;
+    _slots[(head + index) & _mask] = forged;
+    return true;
+}
+
+std::size_t
+SpscRing::size() const
+{
+    const std::uint64_t tail = _tail.load(std::memory_order_acquire);
+    const std::uint64_t head = _head.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+}
+
+} // namespace hq

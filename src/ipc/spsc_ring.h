@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single-producer single-consumer lock-free ring of AppendWrite messages.
+ *
+ * This is the shared circular buffer that backs the fast channels: the
+ * verifier host buffer behind the FPGA device model, and the appendable
+ * memory region (AMR) of the microarchitectural model. The paper assigns
+ * one AMR per writer core with a single reader core iterating over all
+ * mapped AMRs, which is exactly the SPSC discipline.
+ */
+
+#ifndef HQ_IPC_SPSC_RING_H
+#define HQ_IPC_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "ipc/message.h"
+
+namespace hq {
+
+/** Lock-free SPSC ring; capacity is rounded up to a power of two. */
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t min_capacity);
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Append one message; fails (returns false) when the ring is full.
+     * Producer-side only.
+     */
+    bool tryPush(const Message &message);
+
+    /**
+     * Remove the oldest message into out; fails when the ring is empty.
+     * Consumer-side only.
+     */
+    bool tryPop(Message &out);
+
+    /** Number of messages currently queued (approximate across threads). */
+    std::size_t size() const;
+
+    /**
+     * Overwrite the index-th unread message in place. This models what a
+     * compromised writer can do to a raw shared-memory transport (anyone
+     * with the mapping can scribble over sent-but-unread messages); the
+     * AppendWrite channels never expose this operation. Test/demo hook.
+     * @return false when fewer than index+1 messages are pending.
+     */
+    bool overwritePending(std::size_t index, const Message &forged);
+
+    /** True when no messages are queued. */
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return _mask + 1; }
+
+  private:
+    std::vector<Message> _slots;
+    std::size_t _mask;
+    alignas(64) std::atomic<std::uint64_t> _head{0}; //!< consumer cursor
+    alignas(64) std::atomic<std::uint64_t> _tail{0}; //!< producer cursor
+};
+
+} // namespace hq
+
+#endif // HQ_IPC_SPSC_RING_H

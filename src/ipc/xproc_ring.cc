@@ -1,0 +1,99 @@
+#include "ipc/xproc_ring.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/log.h"
+
+namespace hq {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t value)
+{
+    std::size_t pow2 = 1;
+    while (pow2 < value)
+        pow2 <<= 1;
+    return pow2;
+}
+
+} // namespace
+
+XprocChannel::XprocChannel(std::size_t min_capacity)
+    : _traits{"Cross-process shared ring", /*appendOnly=*/true,
+              /*asyncValidation=*/true, "Mem. Write"}
+{
+    const std::size_t capacity = roundUpPow2(min_capacity ? min_capacity
+                                                          : 1);
+    _map_bytes = sizeof(XprocRingRegion) + capacity * sizeof(Message);
+    void *mapping = ::mmap(nullptr, _map_bytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mapping == MAP_FAILED) {
+        logWarn("xproc mmap failed: ", std::strerror(errno));
+        return;
+    }
+    _region = new (mapping) XprocRingRegion;
+    _region->tail.store(0, std::memory_order_relaxed);
+    _region->head.store(0, std::memory_order_relaxed);
+    _region->capacity = capacity;
+}
+
+XprocChannel::~XprocChannel()
+{
+    if (_region)
+        ::munmap(_region, _map_bytes);
+}
+
+Status
+XprocChannel::send(const Message &message)
+{
+    if (!_region)
+        return Status::error(StatusCode::Unavailable, "no mapping");
+    const std::uint64_t mask = _region->capacity - 1;
+    for (;;) {
+        const std::uint64_t tail =
+            _region->tail.load(std::memory_order_relaxed);
+        const std::uint64_t head =
+            _region->head.load(std::memory_order_acquire);
+        if (tail - head <= mask) {
+            _region->slots[tail & mask] = message;
+            _region->tail.store(tail + 1, std::memory_order_release);
+            return Status::ok();
+        }
+        // Full: wait for the verifier process to drain.
+        std::this_thread::yield();
+    }
+}
+
+bool
+XprocChannel::tryRecv(Message &out)
+{
+    if (!_region)
+        return false;
+    const std::uint64_t mask = _region->capacity - 1;
+    const std::uint64_t head =
+        _region->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail =
+        _region->tail.load(std::memory_order_acquire);
+    if (head == tail)
+        return false;
+    out = _region->slots[head & mask];
+    _region->head.store(head + 1, std::memory_order_release);
+    return true;
+}
+
+std::size_t
+XprocChannel::pending() const
+{
+    if (!_region)
+        return 0;
+    return static_cast<std::size_t>(
+        _region->tail.load(std::memory_order_acquire) -
+        _region->head.load(std::memory_order_acquire));
+}
+
+} // namespace hq

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cross-process AppendWrite transport over real shared memory.
+ *
+ * Everything else in this repository runs monitored program and
+ * verifier as threads for determinism; this channel demonstrates the
+ * deployment the paper actually describes: two *processes* whose only
+ * connection is a shared mapping, so the monitored program genuinely
+ * cannot touch verifier state.
+ *
+ * The ring lives in a fixed-layout region created with
+ * mmap(MAP_SHARED | MAP_ANONYMOUS) *before* fork(): producer cursor,
+ * consumer cursor, and message slots, manipulated with C++ atomics
+ * (lock-free, SPSC). The writer side exposes only an append operation;
+ * in real HerQules the MMU would additionally reject ordinary stores
+ * to the region (AppendWrite-µarch) or the region would live on the
+ * device (FPGA).
+ */
+
+#ifndef HQ_IPC_XPROC_RING_H
+#define HQ_IPC_XPROC_RING_H
+
+#include <atomic>
+#include <cstddef>
+
+#include "ipc/channel.h"
+
+namespace hq {
+
+/** Fixed-layout shared-memory ring header + slots. */
+struct XprocRingRegion
+{
+    alignas(64) std::atomic<std::uint64_t> tail; //!< producer cursor
+    alignas(64) std::atomic<std::uint64_t> head; //!< consumer cursor
+    std::uint64_t capacity;                      //!< slot count (pow2)
+    Message slots[]; // NOLINT: flexible array, sized at map time
+};
+
+/**
+ * Channel over a shared mapping usable across fork(). Create in the
+ * parent, fork, then use send() in the child and tryRecv() in the
+ * parent (or vice versa — one producer, one consumer).
+ */
+class XprocChannel : public Channel
+{
+  public:
+    /** Maps the shared region; capacity is rounded up to a power of 2. */
+    explicit XprocChannel(std::size_t min_capacity);
+    ~XprocChannel() override;
+
+    XprocChannel(const XprocChannel &) = delete;
+    XprocChannel &operator=(const XprocChannel &) = delete;
+
+    /** True when the mapping was created successfully. */
+    bool valid() const { return _region != nullptr; }
+
+    Status send(const Message &message) override;
+    bool tryRecv(Message &out) override;
+    std::size_t pending() const override;
+    const ChannelTraits &traits() const override { return _traits; }
+
+  private:
+    XprocRingRegion *_region = nullptr;
+    std::size_t _map_bytes = 0;
+    ChannelTraits _traits;
+};
+
+} // namespace hq
+
+#endif // HQ_IPC_XPROC_RING_H

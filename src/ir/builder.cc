@@ -1,0 +1,378 @@
+#include "ir/builder.h"
+
+#include "common/log.h"
+
+namespace hq::ir {
+
+int
+IrBuilder::addStruct(StructInfo info)
+{
+    _module.structs.push_back(std::move(info));
+    return static_cast<int>(_module.structs.size()) - 1;
+}
+
+int
+IrBuilder::addGlobal(Global global)
+{
+    global.id = static_cast<int>(_module.globals.size());
+    _module.globals.push_back(std::move(global));
+    return _module.globals.back().id;
+}
+
+int
+IrBuilder::addClass(const std::string &name, std::vector<int> vtable_funcs,
+                    int base_class)
+{
+    Global vtable;
+    vtable.name = "vtable." + name;
+    vtable.size = vtable_funcs.size() * 8;
+    vtable.section = Section::RoData; // vtables are read-only (§4.1.3)
+    vtable.type = TypeRef::dataPtr();
+    for (std::size_t slot = 0; slot < vtable_funcs.size(); ++slot) {
+        vtable.funcptr_init.emplace_back(slot * 8, vtable_funcs[slot]);
+        if (vtable_funcs[slot] >= 0) {
+            _module.functions[vtable_funcs[slot]].attrs.address_taken =
+                true;
+        }
+    }
+    const int vtable_global = addGlobal(std::move(vtable));
+
+    ClassInfo info;
+    info.name = name;
+    info.id = static_cast<int>(_module.classes.size());
+    info.vtable_global = vtable_global;
+    info.vtable = std::move(vtable_funcs);
+    info.base_class = base_class;
+    _module.classes.push_back(std::move(info));
+    return _module.classes.back().id;
+}
+
+int
+IrBuilder::newSignatureClass()
+{
+    return _module.num_signature_classes++;
+}
+
+int
+IrBuilder::beginFunction(const std::string &name, int num_params,
+                         int signature_class)
+{
+    Function function;
+    function.name = name;
+    function.id = static_cast<int>(_module.functions.size());
+    function.num_params = num_params;
+    function.num_regs = num_params; // parameters occupy r0..rN-1
+    function.signature_class = signature_class;
+    function.blocks.emplace_back();
+    _module.functions.push_back(std::move(function));
+    _current_function = _module.functions.back().id;
+    _current_block = 0;
+    return _current_function;
+}
+
+void
+IrBuilder::endFunction()
+{
+    Function &function = currentFunction();
+    for (std::size_t i = 0; i < function.blocks.size(); ++i) {
+        if (function.blocks[i].instrs.empty() ||
+            !function.blocks[i].instrs.back().isTerminator()) {
+            panic("block bb" + std::to_string(i) + " of " + function.name +
+                  " lacks a terminator");
+        }
+    }
+    _current_function = -1;
+    _current_block = -1;
+}
+
+int
+IrBuilder::newBlock()
+{
+    Function &function = currentFunction();
+    function.blocks.emplace_back();
+    return static_cast<int>(function.blocks.size()) - 1;
+}
+
+void
+IrBuilder::setBlock(int block)
+{
+    assert(block >= 0 &&
+           block < static_cast<int>(currentFunction().blocks.size()));
+    _current_block = block;
+}
+
+Function &
+IrBuilder::currentFunction()
+{
+    assert(_current_function >= 0 && "no function under construction");
+    return _module.functions[_current_function];
+}
+
+int
+IrBuilder::freshReg()
+{
+    return currentFunction().num_regs++;
+}
+
+int
+IrBuilder::emit(Instr instr)
+{
+    currentFunction().blocks[_current_block].instrs.push_back(
+        std::move(instr));
+    return currentFunction().blocks[_current_block].instrs.back().dest;
+}
+
+int
+IrBuilder::constInt(std::uint64_t value)
+{
+    Instr instr;
+    instr.op = IrOp::ConstInt;
+    instr.dest = freshReg();
+    instr.imm = value;
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::funcAddr(int func_id, int signature_class)
+{
+    Instr instr;
+    instr.op = IrOp::FuncAddr;
+    instr.dest = freshReg();
+    instr.imm = static_cast<std::uint64_t>(func_id);
+    instr.type = TypeRef::funcPtr(signature_class);
+    _module.functions[func_id].attrs.address_taken = true;
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::globalAddr(int global_id)
+{
+    Instr instr;
+    instr.op = IrOp::GlobalAddr;
+    instr.dest = freshReg();
+    instr.imm = static_cast<std::uint64_t>(global_id);
+    instr.type = TypeRef::dataPtr();
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::allocaOp(std::uint64_t size, TypeRef type)
+{
+    Instr instr;
+    instr.op = IrOp::Alloca;
+    instr.dest = freshReg();
+    instr.imm = size;
+    instr.type = type;
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::arith(ArithKind kind, int a, int b)
+{
+    Instr instr;
+    instr.op = IrOp::Arith;
+    instr.dest = freshReg();
+    instr.a = a;
+    instr.b = b;
+    instr.aux = static_cast<int>(kind);
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::cast(int value, TypeRef to)
+{
+    Instr instr;
+    instr.op = IrOp::Cast;
+    instr.dest = freshReg();
+    instr.a = value;
+    instr.type = to;
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::load(int addr, TypeRef type)
+{
+    Instr instr;
+    instr.op = IrOp::Load;
+    instr.dest = freshReg();
+    instr.a = addr;
+    instr.type = type;
+    return emit(std::move(instr));
+}
+
+void
+IrBuilder::store(int addr, int value, TypeRef type)
+{
+    Instr instr;
+    instr.op = IrOp::Store;
+    instr.a = addr;
+    instr.b = value;
+    instr.type = type;
+    emit(std::move(instr));
+}
+
+void
+IrBuilder::memcpyOp(int dst, int src, int size, TypeRef elem_type)
+{
+    Instr instr;
+    instr.op = IrOp::Memcpy;
+    instr.a = dst;
+    instr.b = src;
+    instr.c = size;
+    instr.type = elem_type;
+    emit(std::move(instr));
+}
+
+void
+IrBuilder::memmoveOp(int dst, int src, int size, TypeRef elem_type)
+{
+    Instr instr;
+    instr.op = IrOp::Memmove;
+    instr.a = dst;
+    instr.b = src;
+    instr.c = size;
+    instr.type = elem_type;
+    emit(std::move(instr));
+}
+
+int
+IrBuilder::mallocOp(int size_reg)
+{
+    Instr instr;
+    instr.op = IrOp::Malloc;
+    instr.dest = freshReg();
+    instr.a = size_reg;
+    instr.type = TypeRef::dataPtr();
+    return emit(std::move(instr));
+}
+
+void
+IrBuilder::freeOp(int addr)
+{
+    Instr instr;
+    instr.op = IrOp::Free;
+    instr.a = addr;
+    emit(std::move(instr));
+}
+
+int
+IrBuilder::reallocOp(int addr, int size_reg)
+{
+    Instr instr;
+    instr.op = IrOp::Realloc;
+    instr.dest = freshReg();
+    instr.a = addr;
+    instr.b = size_reg;
+    instr.type = TypeRef::dataPtr();
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::callDirect(int func_id, std::vector<int> args)
+{
+    Instr instr;
+    instr.op = IrOp::CallDirect;
+    instr.dest = freshReg();
+    instr.imm = static_cast<std::uint64_t>(func_id);
+    instr.args = std::move(args);
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::callIndirect(int funcptr, std::vector<int> args,
+                        int signature_class)
+{
+    Instr instr;
+    instr.op = IrOp::CallIndirect;
+    instr.dest = freshReg();
+    instr.a = funcptr;
+    instr.args = std::move(args);
+    instr.type = TypeRef::funcPtr(signature_class);
+    return emit(std::move(instr));
+}
+
+int
+IrBuilder::vcall(int object, int slot, std::vector<int> args,
+                 int static_class)
+{
+    Instr instr;
+    instr.op = IrOp::VCall;
+    instr.dest = freshReg();
+    instr.a = object;
+    instr.imm = static_cast<std::uint64_t>(slot);
+    instr.aux = static_class;
+    instr.args = std::move(args);
+    return emit(std::move(instr));
+}
+
+void
+IrBuilder::syscall(std::uint64_t sysno)
+{
+    Instr instr;
+    instr.op = IrOp::Syscall;
+    instr.imm = sysno;
+    currentFunction().attrs.has_inline_syscall = true;
+    emit(std::move(instr));
+}
+
+int
+IrBuilder::setjmp(int jmp_buf_addr)
+{
+    Instr instr;
+    instr.op = IrOp::Setjmp;
+    instr.dest = freshReg();
+    instr.a = jmp_buf_addr;
+    currentFunction().attrs.returns_twice = true;
+    return emit(std::move(instr));
+}
+
+void
+IrBuilder::longjmp(int jmp_buf_addr, int value)
+{
+    Instr instr;
+    instr.op = IrOp::Longjmp;
+    instr.a = jmp_buf_addr;
+    instr.b = value;
+    emit(std::move(instr));
+}
+
+int
+IrBuilder::retAddrAddr()
+{
+    Instr instr;
+    instr.op = IrOp::RetAddrAddr;
+    instr.dest = freshReg();
+    instr.type = TypeRef::dataPtr();
+    return emit(std::move(instr));
+}
+
+void
+IrBuilder::ret(int value)
+{
+    Instr instr;
+    instr.op = IrOp::Ret;
+    instr.a = value;
+    emit(std::move(instr));
+}
+
+void
+IrBuilder::br(int target)
+{
+    Instr instr;
+    instr.op = IrOp::Br;
+    instr.target0 = target;
+    emit(std::move(instr));
+}
+
+void
+IrBuilder::condBr(int cond, int if_true, int if_false)
+{
+    Instr instr;
+    instr.op = IrOp::CondBr;
+    instr.a = cond;
+    instr.target0 = if_true;
+    instr.target1 = if_false;
+    emit(std::move(instr));
+}
+
+} // namespace hq::ir

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Convenience builder for constructing mini-IR modules in workload
+ * generators and tests. Maintains the single-assignment discipline
+ * (every emitted instruction defines a fresh register).
+ */
+
+#ifndef HQ_IR_BUILDER_H
+#define HQ_IR_BUILDER_H
+
+#include <cassert>
+#include <string>
+
+#include "ir/module.h"
+
+namespace hq::ir {
+
+/** Builds one function at a time inside a module. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(Module &module) : _module(module) {}
+
+    // --- Module-level pieces ------------------------------------------
+
+    /** Create a struct type; returns its id. */
+    int addStruct(StructInfo info);
+
+    /** Create a global; returns its id. */
+    int addGlobal(Global global);
+
+    /** Create a class with a read-only vtable global; returns class id. */
+    int addClass(const std::string &name, std::vector<int> vtable_funcs,
+                 int base_class = -1);
+
+    /** Allocate a fresh signature class id for type-matching CFI. */
+    int newSignatureClass();
+
+    // --- Function construction ----------------------------------------
+
+    /**
+     * Begin a new function; subsequent emits go to its entry block.
+     * @return the function id.
+     */
+    int beginFunction(const std::string &name, int num_params = 0,
+                      int signature_class = 0);
+
+    /** Finish the current function (verifies a terminator exists). */
+    void endFunction();
+
+    /** Create a new (empty) block in the current function. */
+    int newBlock();
+
+    /** Redirect emission to an existing block. */
+    void setBlock(int block);
+
+    int currentBlock() const { return _current_block; }
+    Function &currentFunction();
+
+    /** Register holding parameter `index` (parameters are r0..rN-1). */
+    int param(int index) const { return index; }
+
+    // --- Instruction emission (each returns the dest register or -1) ---
+
+    int constInt(std::uint64_t value);
+    int funcAddr(int func_id, int signature_class);
+    int globalAddr(int global_id);
+    int allocaOp(std::uint64_t size, TypeRef type = TypeRef::intTy());
+    int arith(ArithKind kind, int a, int b);
+    int cast(int value, TypeRef to);
+    int load(int addr, TypeRef type);
+    void store(int addr, int value, TypeRef type);
+    void memcpyOp(int dst, int src, int size, TypeRef elem_type);
+    void memmoveOp(int dst, int src, int size, TypeRef elem_type);
+    int mallocOp(int size_reg);
+    void freeOp(int addr);
+    int reallocOp(int addr, int size_reg);
+    int callDirect(int func_id, std::vector<int> args = {});
+    int callIndirect(int funcptr, std::vector<int> args = {},
+                     int signature_class = -1);
+    int vcall(int object, int slot, std::vector<int> args = {},
+              int static_class = -1);
+    void syscall(std::uint64_t sysno);
+    int setjmp(int jmp_buf_addr);
+    void longjmp(int jmp_buf_addr, int value);
+    int retAddrAddr();
+    void ret(int value = -1);
+    void br(int target);
+    void condBr(int cond, int if_true, int if_false);
+
+    /** Append an arbitrary pre-built instruction. */
+    int emit(Instr instr);
+
+  private:
+    int freshReg();
+
+    Module &_module;
+    int _current_function = -1;
+    int _current_block = -1;
+};
+
+} // namespace hq::ir
+
+#endif // HQ_IR_BUILDER_H

@@ -1,0 +1,62 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+namespace hq::ir {
+
+Cfg::Cfg(const Function &function)
+{
+    const int n = static_cast<int>(function.blocks.size());
+    _successors.resize(n);
+    _predecessors.resize(n);
+    _rpo_index.assign(n, -1);
+
+    for (int block = 0; block < n; ++block) {
+        const Instr &term = function.blocks[block].terminator();
+        switch (term.op) {
+          case IrOp::Br:
+            _successors[block].push_back(term.target0);
+            break;
+          case IrOp::CondBr:
+            _successors[block].push_back(term.target0);
+            if (term.target1 != term.target0)
+                _successors[block].push_back(term.target1);
+            break;
+          case IrOp::Ret:
+            _exits.push_back(block);
+            break;
+          default:
+            break; // verifier rejects blocks without terminators
+        }
+        for (int succ : _successors[block])
+            _predecessors[succ].push_back(block);
+    }
+
+    // Iterative postorder DFS from the entry block.
+    std::vector<int> postorder;
+    std::vector<char> visited(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    if (n > 0) {
+        stack.emplace_back(0, 0);
+        visited[0] = 1;
+    }
+    while (!stack.empty()) {
+        auto &[block, edge] = stack.back();
+        if (edge < _successors[block].size()) {
+            const int succ = _successors[block][edge++];
+            if (!visited[succ]) {
+                visited[succ] = 1;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            postorder.push_back(block);
+            stack.pop_back();
+        }
+    }
+
+    _rpo.assign(postorder.rbegin(), postorder.rend());
+    for (int i = 0; i < static_cast<int>(_rpo.size()); ++i)
+        _rpo_index[_rpo[i]] = i;
+}
+
+} // namespace hq::ir

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Control-flow graph utilities: successor/predecessor lists and reverse
+ * postorder, the substrate for the dominator analyses the paper's
+ * instrumentation relies on (§3.2, §4.1.4).
+ */
+
+#ifndef HQ_IR_CFG_H
+#define HQ_IR_CFG_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace hq::ir {
+
+/** Successor/predecessor adjacency for one function's blocks. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &function);
+
+    const std::vector<int> &successors(int block) const
+    {
+        return _successors[block];
+    }
+
+    const std::vector<int> &predecessors(int block) const
+    {
+        return _predecessors[block];
+    }
+
+    /** Blocks in reverse postorder from the entry (unreachable omitted). */
+    const std::vector<int> &reversePostorder() const { return _rpo; }
+
+    /** Blocks ending in Ret (exit nodes for post-dominance). */
+    const std::vector<int> &exitBlocks() const { return _exits; }
+
+    int numBlocks() const { return static_cast<int>(_successors.size()); }
+
+    /** True when the block is reachable from the entry. */
+    bool reachable(int block) const { return _rpo_index[block] >= 0; }
+
+    /** Position of a block in reverse postorder (-1 if unreachable). */
+    int rpoIndex(int block) const { return _rpo_index[block]; }
+
+  private:
+    std::vector<std::vector<int>> _successors;
+    std::vector<std::vector<int>> _predecessors;
+    std::vector<int> _rpo;
+    std::vector<int> _rpo_index;
+    std::vector<int> _exits;
+};
+
+} // namespace hq::ir
+
+#endif // HQ_IR_CFG_H

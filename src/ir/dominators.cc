@@ -1,0 +1,135 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+
+namespace hq::ir {
+
+namespace {
+
+/**
+ * Reverse postorder over an adjacency list from a root.
+ * Returns the visit order; unreached nodes are absent.
+ */
+std::vector<int>
+reversePostorder(const std::vector<std::vector<int>> &succ, int root)
+{
+    std::vector<int> postorder;
+    std::vector<char> visited(succ.size(), 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = 1;
+    while (!stack.empty()) {
+        auto &[node, edge] = stack.back();
+        if (edge < succ[node].size()) {
+            const int next = succ[node][edge++];
+            if (!visited[next]) {
+                visited[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+    return postorder;
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Cfg &cfg, bool post) : _post(post)
+{
+    const int n = cfg.numBlocks();
+    // Node n is the virtual exit for post-dominance.
+    const int num_nodes = post ? n + 1 : n;
+    const int root = post ? n : 0;
+
+    // Build the (possibly reversed) graph the analysis runs on.
+    std::vector<std::vector<int>> succ(num_nodes);
+    std::vector<std::vector<int>> pred(num_nodes);
+    if (!post) {
+        for (int block = 0; block < n; ++block) {
+            succ[block] = cfg.successors(block);
+            pred[block] = cfg.predecessors(block);
+        }
+    } else {
+        // Reversed edges; the virtual exit points at every Ret block.
+        for (int block = 0; block < n; ++block)
+            for (int s : cfg.successors(block)) {
+                succ[s].push_back(block);
+                pred[block].push_back(s);
+            }
+        for (int exit_block : cfg.exitBlocks()) {
+            succ[root].push_back(exit_block);
+            pred[exit_block].push_back(root);
+        }
+    }
+
+    const std::vector<int> rpo = reversePostorder(succ, root);
+    _order_index.assign(num_nodes, -1);
+    for (int i = 0; i < static_cast<int>(rpo.size()); ++i)
+        _order_index[rpo[i]] = i;
+
+    std::vector<int> idom(num_nodes, -1);
+    idom[root] = root;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (_order_index[a] > _order_index[b])
+                a = idom[a];
+            while (_order_index[b] > _order_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int node : rpo) {
+            if (node == root)
+                continue;
+            int new_idom = -1;
+            for (int p : pred[node]) {
+                if (idom[p] < 0)
+                    continue; // not yet processed / unreachable
+                new_idom =
+                    new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom[node] != new_idom) {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Export: root and unreachable nodes get -1; for post-dominance the
+    // virtual exit is projected away.
+    _idom.assign(n, -1);
+    for (int block = 0; block < n; ++block) {
+        if (block == root || idom[block] < 0)
+            continue;
+        const int dominator = idom[block];
+        _idom[block] = (post && dominator == root) ? -1 : dominator;
+    }
+    if (!post && n > 0)
+        _idom[0] = -1;
+}
+
+bool
+DominatorTree::dominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    int node = b;
+    while (node >= 0 && node < static_cast<int>(_idom.size())) {
+        node = _idom[node];
+        if (node == a)
+            return true;
+        if (node == -1)
+            return false;
+    }
+    return false;
+}
+
+} // namespace hq::ir

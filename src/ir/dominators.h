@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+ * algorithm over reverse postorder).
+ *
+ * The paper's compiler uses graph dominators in two places this repo
+ * reproduces: placing System-Call synchronization messages at the
+ * earliest point that dominates the system call and is post-dominated by
+ * it (§3.2), and the store-to-load forwarding / message elision
+ * optimizations (§4.1.4).
+ */
+
+#ifndef HQ_IR_DOMINATORS_H
+#define HQ_IR_DOMINATORS_H
+
+#include <vector>
+
+#include "ir/cfg.h"
+
+namespace hq::ir {
+
+/** Dominator tree over a function CFG. */
+class DominatorTree
+{
+  public:
+    /**
+     * @param cfg the function's control-flow graph
+     * @param post compute post-dominators (dominance on reversed edges,
+     *             with a virtual exit joining all Ret blocks) instead
+     */
+    DominatorTree(const Cfg &cfg, bool post = false);
+
+    /**
+     * Immediate dominator of block, or -1 for the root/unreachable
+     * blocks. For post-dominator trees, -1 also marks blocks whose only
+     * "post-dominator" is the virtual exit.
+     */
+    int idom(int block) const { return _idom[block]; }
+
+    /** True when a dominates b (reflexive). */
+    bool dominates(int a, int b) const;
+
+    bool isPostDominatorTree() const { return _post; }
+
+  private:
+    std::vector<int> _idom;
+    std::vector<int> _order_index; //!< traversal index used for meets
+    bool _post;
+};
+
+} // namespace hq::ir
+
+#endif // HQ_IR_DOMINATORS_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Instruction set of the mini-IR.
+ *
+ * The IR is register-based with single assignment (every instruction
+ * defines a fresh virtual register; mutable program variables live in
+ * memory slots created by Alloca or globals, as in unoptimized LLVM IR).
+ * Control flow is explicit: every basic block ends in exactly one
+ * terminator (Ret/Br/CondBr).
+ *
+ * Instrumentation opcodes (Hq*, CfiTypeCheck, Mac*, Safe*) never appear
+ * in source programs; they are inserted by the compiler passes of the
+ * CFI design being built (src/compiler, src/cfi) and executed by the VM.
+ */
+
+#ifndef HQ_IR_INSTR_H
+#define HQ_IR_INSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace hq::ir {
+
+enum class IrOp : std::uint8_t {
+    Nop = 0,
+
+    // --- Values ------------------------------------------------------
+    ConstInt,   //!< dest = imm
+    FuncAddr,   //!< dest = address of function #imm
+    GlobalAddr, //!< dest = address of global #imm
+    Alloca,     //!< dest = address of a new stack slot of imm bytes
+    Arith,      //!< dest = op(a, b); aux selects the ArithKind
+    Cast,       //!< dest = a reinterpreted as `type` (models C casts/decay)
+
+    // --- Memory ------------------------------------------------------
+    Load,    //!< dest = mem[a]; `type` is the loaded value's static type
+    Store,   //!< mem[a] = b; `type` is the stored value's static type
+    Memcpy,  //!< memcpy(dst=a, src=b, size=c); `type` = element type copied
+    Memmove, //!< memmove(dst=a, src=b, size=c)
+    Malloc,  //!< dest = heap alloc of a bytes (or imm if a < 0)
+    Free,    //!< free(a)
+    Realloc, //!< dest = realloc(a, b bytes)
+
+    // --- Control flow ------------------------------------------------
+    CallDirect,   //!< dest = call function #imm(args)
+    CallIndirect, //!< dest = call through function pointer in a(args)
+    VCall,        //!< dest = virtual call: object a, vtable slot imm;
+                  //!< aux >= 0 names the statically-known class (devirt)
+    Syscall,      //!< system call #imm (models inline-asm syscall)
+    Setjmp,       //!< dest = 0; saves a continuation token to mem[a]
+                  //!< (non-local goto support; marks returns_twice)
+    Longjmp,      //!< jump to the continuation in mem[a]; setjmp
+                  //!< "returns again" with value b (or 1 if b == 0)
+    RetAddrAddr,  //!< dest = address of this frame's return-pointer slot
+                  //!< (models __builtin_return_address disclosure)
+    Ret,          //!< return a (or nothing when a < 0)
+    Br,           //!< jump to block target0
+    CondBr,       //!< if a != 0 goto target0 else target1
+
+    // --- HerQules instrumentation (messages over AppendWrite) ---------
+    HqDefine,          //!< POINTER-DEFINE(mem addr a, value b)
+    HqCheck,           //!< POINTER-CHECK(a, b)
+    HqInvalidate,      //!< POINTER-INVALIDATE(a)
+    HqCheckInvalidate, //!< POINTER-CHECK-INVALIDATE(a, b)
+    HqBlockCopy,       //!< POINTER-BLOCK-COPY(src=a, dst=b, size=c)
+    HqBlockMove,       //!< POINTER-BLOCK-MOVE(src=a, dst=b, size=c)
+    HqBlockInvalidate, //!< POINTER-BLOCK-INVALIDATE(base=a, size=b)
+    HqSyscallMsg,      //!< System-Call synchronization message (§2.2)
+    HqGuardEnter,      //!< store-to-load-forwarding recursion guard set
+    HqGuardExit,       //!< ... guard clear
+
+    // --- Data-flow integrity instrumentation (§4.3) --------------------
+    DfiWriteMsg, //!< DFI-WRITE(addr a, writer id imm)
+    DfiReadMsg,  //!< DFI-READ(addr a, allowed writer bitmask imm)
+
+    // --- Baseline CFI designs (inline, in-process checks) -------------
+    CfiTypeCheck, //!< Clang/LLVM CFI: funcptr a must be in class imm
+    MacDefine,    //!< CCFI: write MAC for pointer at addr a, value b
+    MacCheck,     //!< CCFI: check MAC for pointer at addr a, value b
+    SafeStore,    //!< CPI: safe-store write mem'[a] = b
+    SafeLoad,     //!< CPI: dest = safe-store read mem'[a]
+
+    NumOps,
+};
+
+/**
+ * Sentinel signature class used by Clang/LLVM CFI virtual-call checks:
+ * the runtime accepts any target that is a virtual method (member of
+ * some class vtable).
+ */
+inline constexpr std::uint64_t kAnyVtableClass = 0xFFFFFF;
+
+/** Binary operation selector for IrOp::Arith. */
+enum class ArithKind : std::uint8_t {
+    Add, Sub, Mul, Xor, And, Or, Shr, Lt, Eq,
+};
+
+/** Per-instruction flag bits (set by the builder and compiler passes). */
+enum InstrFlags : std::uint32_t {
+    /** Load reads from read-only memory (vtables): no check needed. */
+    kFlagReadOnlySource = 1u << 0,
+    /** Volatile/atomic access: excluded from forwarding optimization. */
+    kFlagVolatile = 1u << 1,
+    /** Block op / free must emit runtime block messages (FinalLowering). */
+    kFlagEmitBlockMsg = 1u << 2,
+    /** Check elided by store-to-load forwarding (counted, then erased). */
+    kFlagElided = 1u << 3,
+    /** Instruction was inserted by instrumentation (not source code). */
+    kFlagInstrumentation = 1u << 4,
+};
+
+/** One IR instruction. See IrOp for field meanings. */
+struct Instr
+{
+    IrOp op = IrOp::Nop;
+    int dest = -1;          //!< result register (-1: none)
+    int a = -1, b = -1, c = -1; //!< operand registers
+    std::uint64_t imm = 0;  //!< immediate (constant, id, size, sysno)
+    TypeRef type;           //!< value type where relevant
+    int target0 = -1;       //!< branch target (block id)
+    int target1 = -1;       //!< CondBr false target
+    int aux = -1;           //!< ArithKind, devirt class id, guard id
+    std::uint32_t flags = 0; //!< InstrFlags bits
+    std::vector<int> args;  //!< call arguments (registers)
+
+    bool
+    isTerminator() const
+    {
+        return op == IrOp::Ret || op == IrOp::Br || op == IrOp::CondBr;
+    }
+
+    bool
+    isCall() const
+    {
+        return op == IrOp::CallDirect || op == IrOp::CallIndirect ||
+               op == IrOp::VCall;
+    }
+
+    /** Render a compact textual form for debugging and tests. */
+    std::string toString() const;
+};
+
+/** Opcode mnemonic. */
+const char *irOpName(IrOp op);
+
+} // namespace hq::ir
+
+#endif // HQ_IR_INSTR_H

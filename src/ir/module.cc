@@ -1,0 +1,114 @@
+#include "ir/module.h"
+
+#include <sstream>
+
+namespace hq::ir {
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Nop: return "nop";
+      case IrOp::ConstInt: return "const";
+      case IrOp::FuncAddr: return "funcaddr";
+      case IrOp::GlobalAddr: return "globaladdr";
+      case IrOp::Alloca: return "alloca";
+      case IrOp::Arith: return "arith";
+      case IrOp::Cast: return "cast";
+      case IrOp::Load: return "load";
+      case IrOp::Store: return "store";
+      case IrOp::Memcpy: return "memcpy";
+      case IrOp::Memmove: return "memmove";
+      case IrOp::Malloc: return "malloc";
+      case IrOp::Free: return "free";
+      case IrOp::Realloc: return "realloc";
+      case IrOp::CallDirect: return "call";
+      case IrOp::CallIndirect: return "icall";
+      case IrOp::VCall: return "vcall";
+      case IrOp::Syscall: return "syscall";
+      case IrOp::Setjmp: return "setjmp";
+      case IrOp::Longjmp: return "longjmp";
+      case IrOp::RetAddrAddr: return "retaddraddr";
+      case IrOp::Ret: return "ret";
+      case IrOp::Br: return "br";
+      case IrOp::CondBr: return "condbr";
+      case IrOp::HqDefine: return "hq.define";
+      case IrOp::HqCheck: return "hq.check";
+      case IrOp::HqInvalidate: return "hq.invalidate";
+      case IrOp::HqCheckInvalidate: return "hq.checkinvalidate";
+      case IrOp::HqBlockCopy: return "hq.blockcopy";
+      case IrOp::HqBlockMove: return "hq.blockmove";
+      case IrOp::HqBlockInvalidate: return "hq.blockinvalidate";
+      case IrOp::HqSyscallMsg: return "hq.syscall";
+      case IrOp::HqGuardEnter: return "hq.guard.enter";
+      case IrOp::HqGuardExit: return "hq.guard.exit";
+      case IrOp::DfiWriteMsg: return "dfi.write";
+      case IrOp::DfiReadMsg: return "dfi.read";
+      case IrOp::CfiTypeCheck: return "cfi.typecheck";
+      case IrOp::MacDefine: return "ccfi.macdefine";
+      case IrOp::MacCheck: return "ccfi.maccheck";
+      case IrOp::SafeStore: return "cpi.safestore";
+      case IrOp::SafeLoad: return "cpi.safeload";
+      case IrOp::NumOps: break;
+    }
+    return "?";
+}
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    if (dest >= 0)
+        os << "r" << dest << " = ";
+    os << irOpName(op);
+    if (a >= 0)
+        os << " r" << a;
+    if (b >= 0)
+        os << ", r" << b;
+    if (c >= 0)
+        os << ", r" << c;
+    if (imm != 0 || op == IrOp::ConstInt || op == IrOp::FuncAddr ||
+        op == IrOp::GlobalAddr || op == IrOp::Syscall)
+        os << " #" << imm;
+    if (target0 >= 0)
+        os << " ->bb" << target0;
+    if (target1 >= 0)
+        os << "/bb" << target1;
+    if (!args.empty()) {
+        os << " (";
+        for (std::size_t i = 0; i < args.size(); ++i)
+            os << (i ? ", r" : "r") << args[i];
+        os << ")";
+    }
+    return os.str();
+}
+
+bool
+Module::structContainsFuncPtr(int struct_id) const
+{
+    if (struct_id < 0 || struct_id >= static_cast<int>(structs.size()))
+        return false;
+    const StructInfo &info = structs[struct_id];
+    for (const FieldInfo &field : info.fields) {
+        if (field.type.isProtectedPtr())
+            return true;
+        if (field.type.kind == TypeKind::Struct &&
+            field.type.struct_id != struct_id &&
+            structContainsFuncPtr(field.type.struct_id)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+Module::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const Function &function : functions)
+        for (const BasicBlock &block : function.blocks)
+            count += block.instrs.size();
+    return count;
+}
+
+} // namespace hq::ir

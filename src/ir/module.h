@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Functions, globals, classes, and modules of the mini-IR.
+ */
+
+#ifndef HQ_IR_MODULE_H
+#define HQ_IR_MODULE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.h"
+#include "ir/type.h"
+
+namespace hq::ir {
+
+/** A basic block: straight-line instructions ending in a terminator. */
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+
+    const Instr &
+    terminator() const
+    {
+        return instrs.back();
+    }
+};
+
+/** Function attributes relevant to instrumentation decisions. */
+struct FunctionAttrs
+{
+    bool address_taken = false; //!< may be an indirect-call target
+    bool returns_twice = false; //!< setjmp-like: exempt from forwarding
+    bool is_libc = false;       //!< part of the (recompiled) C library
+    bool has_inline_syscall = false; //!< contains a Syscall instruction
+    /**
+     * Marks functions on the paper's block-operation allowlist: they
+     * receive decayed function pointers inter-procedurally, so strict
+     * subtype checking must not elide their block-op instrumentation.
+     */
+    bool block_op_allowlisted = false;
+    /**
+     * Return-pointer protection (set by instrumentation passes):
+     * the VM defines the return pointer in the prologue and
+     * check-invalidates it in the epilogue (HQ-CFI-RetPtr, §4.1.6), or
+     * MACs it under CCFI.
+     */
+    bool instrument_return = false;
+};
+
+struct Function
+{
+    std::string name;
+    int id = -1;
+    int num_params = 0;
+    int num_regs = 0; //!< size of the virtual register file
+    /** Signature class for type-matching CFI designs. */
+    int signature_class = 0;
+    FunctionAttrs attrs;
+    std::vector<BasicBlock> blocks;
+
+    BasicBlock &entry() { return blocks.front(); }
+    const BasicBlock &entry() const { return blocks.front(); }
+};
+
+/** Program section where a global lives (RIPE overflow origins). */
+enum class Section : std::uint8_t {
+    Data,   //!< initialized writable data
+    Bss,    //!< zero-initialized writable data
+    RoData, //!< read-only data (vtables, const function tables)
+};
+
+struct Global
+{
+    std::string name;
+    int id = -1;
+    std::uint64_t size = 0;
+    Section section = Section::Data;
+    TypeRef type;
+    /**
+     * Function-pointer initializers: (byte offset, function id) pairs
+     * loaded into the global at startup. These are the "global
+     * control-flow pointers" the paper's initializer function registers
+     * with the verifier immediately after program startup.
+     */
+    std::vector<std::pair<std::uint64_t, int>> funcptr_init;
+    /** Plain word initializers: (byte offset, value). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> word_init;
+    /**
+     * Signature class of the funcptr_init entries, used by the CCFI and
+     * CPI startup registration (their constructors MAC/relocate global
+     * control-flow pointers before main runs).
+     */
+    int funcptr_class = 0;
+};
+
+/** C++ class metadata for virtual dispatch and devirtualization. */
+struct ClassInfo
+{
+    std::string name;
+    int id = -1;
+    int vtable_global = -1; //!< read-only global holding the vtable
+    std::vector<int> vtable; //!< function id per slot
+    int base_class = -1;     //!< single inheritance chain
+};
+
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+    std::vector<Global> globals;
+    std::vector<StructInfo> structs;
+    std::vector<ClassInfo> classes;
+    int entry_function = -1;
+
+    /**
+     * Signature-class count (type-matching CFI equivalence classes).
+     * Builders allocate class ids densely from 0.
+     */
+    int num_signature_classes = 0;
+
+    Function *
+    functionByName(const std::string &fn_name)
+    {
+        for (auto &function : functions) {
+            if (function.name == fn_name)
+                return &function;
+        }
+        return nullptr;
+    }
+
+    /** True when the struct (transitively) contains a protected pointer. */
+    bool structContainsFuncPtr(int struct_id) const;
+
+    /** Total instruction count across all functions (sizing stat). */
+    std::size_t instructionCount() const;
+};
+
+} // namespace hq::ir
+
+#endif // HQ_IR_MODULE_H

@@ -1,0 +1,85 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace hq::ir {
+
+namespace {
+
+const char *
+sectionName(Section section)
+{
+    switch (section) {
+      case Section::Data: return "data";
+      case Section::Bss: return "bss";
+      case Section::RoData: return "rodata";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+printFunction(const Module &module, const Function &function)
+{
+    std::ostringstream os;
+    os << "func @" << function.name << "(params=" << function.num_params
+       << ", regs=" << function.num_regs;
+    if (function.signature_class >= 0)
+        os << ", sig=" << function.signature_class;
+    os << ")";
+    if (function.attrs.address_taken)
+        os << " address_taken";
+    if (function.attrs.returns_twice)
+        os << " returns_twice";
+    if (function.attrs.instrument_return)
+        os << " instrument_return";
+    if (function.attrs.block_op_allowlisted)
+        os << " block_op_allowlist";
+    os << " {\n";
+    for (std::size_t b = 0; b < function.blocks.size(); ++b) {
+        os << "  bb" << b << ":\n";
+        for (const Instr &instr : function.blocks[b].instrs) {
+            os << "    " << instr.toString();
+            if (instr.flags & kFlagInstrumentation)
+                os << "  ; instrumented";
+            if (instr.flags & kFlagEmitBlockMsg)
+                os << "  ; +block-msg";
+            os << "\n";
+        }
+    }
+    os << "}\n";
+    (void)module;
+    return os.str();
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream os;
+    os << "module " << module.name << " (entry=" << module.entry_function
+       << ")\n";
+    for (const Global &global : module.globals) {
+        os << "global @" << global.name << " [" << global.size
+           << " bytes, " << sectionName(global.section) << "]";
+        if (!global.funcptr_init.empty()) {
+            os << " funcptrs={";
+            for (const auto &[offset, fn] : global.funcptr_init)
+                os << " +" << offset << ":@"
+                   << module.functions[fn].name;
+            os << " }";
+        }
+        os << "\n";
+    }
+    for (const ClassInfo &cls : module.classes) {
+        os << "class " << cls.name << " vtable=[";
+        for (int fn : cls.vtable)
+            os << " " << (fn >= 0 ? module.functions[fn].name : "<pure>");
+        os << " ]\n";
+    }
+    for (const Function &function : module.functions)
+        os << printFunction(module, function);
+    return os.str();
+}
+
+} // namespace hq::ir

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual dump of mini-IR modules, for debugging instrumentation
+ * pipelines and inspecting generated benchmarks.
+ */
+
+#ifndef HQ_IR_PRINTER_H
+#define HQ_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace hq::ir {
+
+/** Render one function as text (header, attrs, blocks, instructions). */
+std::string printFunction(const Module &module, const Function &function);
+
+/** Render the whole module (globals, classes, functions). */
+std::string printModule(const Module &module);
+
+} // namespace hq::ir
+
+#endif // HQ_IR_PRINTER_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Type system of the mini-IR.
+ *
+ * The reproduction replaces LLVM IR with a small typed IR. Types matter
+ * to the instrumentation in exactly the ways the paper exploits them:
+ * function-pointer-ness drives define/check placement, struct field
+ * layouts drive the strict subtype checking of block memory operations,
+ * and type *casts* model the decay that produces false positives in
+ * type-matching CFI designs (Clang/LLVM CFI, CCFI).
+ */
+
+#ifndef HQ_IR_TYPE_H
+#define HQ_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hq::ir {
+
+enum class TypeKind : std::uint8_t {
+    Void,
+    Int,      //!< 64-bit integer
+    DataPtr,  //!< pointer to non-code data
+    FuncPtr,  //!< pointer to executable code (protected)
+    VtablePtr,//!< C++ virtual-table pointer (protected, indirect)
+    Struct,   //!< composite; fields described by StructInfo
+};
+
+/** Lightweight type handle: a kind plus an optional struct id. */
+struct TypeRef
+{
+    TypeKind kind = TypeKind::Int;
+    int struct_id = -1; //!< index into Module::structs when kind==Struct
+    /**
+     * Function-pointer signature class, used by type-matching CFI
+     * designs: two function pointers are call-compatible under
+     * Clang/LLVM CFI iff their signature classes match. Casts change
+     * the static class without changing the runtime value — the source
+     * of those designs' false positives.
+     */
+    int signature_class = -1;
+
+    bool isFuncPtr() const { return kind == TypeKind::FuncPtr; }
+    bool isVtablePtr() const { return kind == TypeKind::VtablePtr; }
+
+    /** Pointer kinds that HQ-CFI protects (forward edges). */
+    bool
+    isProtectedPtr() const
+    {
+        return kind == TypeKind::FuncPtr || kind == TypeKind::VtablePtr;
+    }
+
+    static TypeRef voidTy() { return {TypeKind::Void, -1, -1}; }
+    static TypeRef intTy() { return {TypeKind::Int, -1, -1}; }
+    static TypeRef dataPtr() { return {TypeKind::DataPtr, -1, -1}; }
+
+    static TypeRef
+    funcPtr(int signature_class)
+    {
+        return {TypeKind::FuncPtr, -1, signature_class};
+    }
+
+    static TypeRef vtablePtr() { return {TypeKind::VtablePtr, -1, -1}; }
+
+    static TypeRef
+    structTy(int struct_id)
+    {
+        return {TypeKind::Struct, struct_id, -1};
+    }
+
+    bool
+    operator==(const TypeRef &other) const
+    {
+        return kind == other.kind && struct_id == other.struct_id &&
+               signature_class == other.signature_class;
+    }
+};
+
+/** One field of a composite type. */
+struct FieldInfo
+{
+    std::uint64_t offset = 0; //!< byte offset within the struct
+    TypeRef type;
+};
+
+/** A composite (struct/class) type. */
+struct StructInfo
+{
+    std::string name;
+    std::uint64_t size = 0; //!< total size in bytes
+    std::vector<FieldInfo> fields;
+};
+
+} // namespace hq::ir
+
+#endif // HQ_IR_TYPE_H

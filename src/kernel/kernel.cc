@@ -1,0 +1,220 @@
+#include "kernel/kernel.h"
+
+#include "common/log.h"
+
+namespace hq {
+
+KernelModule::KernelModule() : KernelModule(Config{}) {}
+
+KernelModule::KernelModule(Config config) : _config(config) {}
+
+void
+KernelModule::setListener(ProcessEventListener *listener)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _listener = listener;
+}
+
+std::shared_ptr<KernelModule::ProcessContext>
+KernelModule::find(Pid pid) const
+{
+    auto it = _processes.find(pid);
+    return it == _processes.end() ? nullptr : it->second;
+}
+
+Status
+KernelModule::enableProcess(Pid pid)
+{
+    ProcessEventListener *listener = nullptr;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (_processes.count(pid)) {
+            return Status::error(StatusCode::AlreadyExists,
+                                 "process already enabled");
+        }
+        _processes[pid] = std::make_shared<ProcessContext>();
+        listener = _listener;
+    }
+    if (listener)
+        listener->onProcessEnabled(pid);
+    logDebug("kernel: enabled HQ for pid ", pid);
+    return Status::ok();
+}
+
+Status
+KernelModule::forkProcess(Pid parent, Pid child)
+{
+    ProcessEventListener *listener = nullptr;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (!_processes.count(parent)) {
+            return Status::error(StatusCode::NotFound,
+                                 "parent not enabled");
+        }
+        if (_processes.count(child)) {
+            return Status::error(StatusCode::AlreadyExists,
+                                 "child pid in use");
+        }
+        _processes[child] = std::make_shared<ProcessContext>();
+        listener = _listener;
+    }
+    if (listener)
+        listener->onProcessForked(parent, child);
+    return Status::ok();
+}
+
+void
+KernelModule::exitProcess(Pid pid)
+{
+    ProcessEventListener *listener = nullptr;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        auto it = _processes.find(pid);
+        if (it == _processes.end())
+            return;
+        // Wake any waiter before the context disappears, and keep a
+        // stats snapshot for post-mortem inspection.
+        it->second->killed = true;
+        it->second->cv.notify_all();
+        _exited_stats[pid] = it->second->stats;
+        _processes.erase(it);
+        listener = _listener;
+    }
+    if (listener)
+        listener->onProcessExited(pid);
+}
+
+bool
+KernelModule::isReadOnlySyscall(std::uint64_t sysno)
+{
+    switch (sysno) {
+      case 39:  // getpid
+      case 63:  // uname
+      case 79:  // getcwd
+      case 96:  // gettimeofday
+      case 102: // getuid
+      case 110: // getppid
+      case 186: // gettid
+      case 228: // clock_gettime
+      case 318: // getrandom
+        return true;
+      default:
+        return false;
+    }
+}
+
+Status
+KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
+                           bool spin_fast_path)
+{
+    if (_config.elide_readonly_syscalls && isReadOnlySyscall(sysno))
+        return Status::ok(); // no pause needed: no external side effects
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    std::shared_ptr<ProcessContext> context = find(pid);
+    if (!context) {
+        // Process never enabled HerQules: the module does not intercept.
+        return Status::ok();
+    }
+    ++context->stats.syscalls;
+
+    if (context->killed) {
+        return Status::error(StatusCode::PolicyViolation,
+                             context->kill_reason.empty()
+                                 ? "process killed"
+                                 : context->kill_reason);
+    }
+
+    if (spin_fast_path && !context->sync_ok && !context->killed) {
+        // Fast path: spin briefly — the verifier normally consumes the
+        // pipelined System-Call message within this window (§2.2).
+        const auto spin_deadline =
+            std::chrono::steady_clock::now() + _config.spin;
+        while (!context->sync_ok && !context->killed &&
+               std::chrono::steady_clock::now() < spin_deadline) {
+            lock.unlock();
+            std::this_thread::yield();
+            lock.lock();
+        }
+    }
+
+    if (!context->sync_ok && !context->killed) {
+        ++context->stats.waits;
+        const bool signalled = context->cv.wait_for(
+            lock, _config.epoch,
+            [&context] { return context->sync_ok || context->killed; });
+        if (!signalled) {
+            // No synchronization message within the epoch: treat as a
+            // policy violation and terminate the monitored program.
+            ++context->stats.epoch_timeouts;
+            context->killed = true;
+            context->kill_reason = "synchronization epoch expired";
+            logWarn("kernel: epoch expired for pid ", pid, " at syscall ",
+                    sysno);
+            return Status::error(StatusCode::PolicyViolation,
+                                 context->kill_reason);
+        }
+    }
+
+    if (context->killed) {
+        return Status::error(StatusCode::PolicyViolation,
+                             context->kill_reason.empty()
+                                 ? "process killed"
+                                 : context->kill_reason);
+    }
+
+    // Reset the synchronization variable upon resumption (§3.3).
+    context->sync_ok = false;
+    return Status::ok();
+}
+
+void
+KernelModule::syscallResume(Pid pid)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::shared_ptr<ProcessContext> context = find(pid);
+    if (!context)
+        return;
+    context->sync_ok = true;
+    context->cv.notify_all();
+}
+
+void
+KernelModule::killProcess(Pid pid, const std::string &reason)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::shared_ptr<ProcessContext> context = find(pid);
+    if (!context)
+        return;
+    context->killed = true;
+    context->kill_reason = reason;
+    context->cv.notify_all();
+}
+
+bool
+KernelModule::isEnabled(Pid pid) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return find(pid) != nullptr;
+}
+
+bool
+KernelModule::isKilled(Pid pid) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::shared_ptr<ProcessContext> context = find(pid);
+    return context && context->killed;
+}
+
+KernelProcessStats
+KernelModule::statsFor(Pid pid) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::shared_ptr<ProcessContext> context = find(pid);
+    if (context)
+        return context->stats;
+    auto it = _exited_stats.find(pid);
+    return it == _exited_stats.end() ? KernelProcessStats{} : it->second;
+}
+
+} // namespace hq

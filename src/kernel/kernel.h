@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulated HerQules kernel module (paper §3.3).
+ *
+ * The real artifact is a Linux module that intercepts system calls via
+ * kprobes/tracepoints and keeps a hash table of per-process contexts,
+ * each holding a boolean synchronization variable: set by the verifier
+ * upon receiving the process's System-Call message, reset by the module
+ * when the system call resumes. If no synchronization message arrives
+ * within a configurable epoch, the kernel treats it as a policy
+ * violation and terminates the process.
+ *
+ * Here the interception point is explicit: the VM's syscall handler
+ * calls syscallEnter(), which blocks with the same semantics. The
+ * verifier talks to the module over the privileged channel modeled by
+ * the syscallResume()/killProcess() methods — direct calls that the
+ * monitored program has no access to.
+ */
+
+#ifndef HQ_KERNEL_KERNEL_H
+#define HQ_KERNEL_KERNEL_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hq {
+
+/** Observer interface the verifier implements to learn process events. */
+class ProcessEventListener
+{
+  public:
+    virtual ~ProcessEventListener() = default;
+
+    /** A process enabled HerQules (registration step 1b in Figure 1). */
+    virtual void onProcessEnabled(Pid pid) = 0;
+
+    /** fork/clone: child inherits a copy of the parent's policy context. */
+    virtual void onProcessForked(Pid parent, Pid child) = 0;
+
+    /** Process terminated; its policy context is destroyed. */
+    virtual void onProcessExited(Pid pid) = 0;
+};
+
+/** Per-process kernel statistics (exposed for tests and harnesses). */
+struct KernelProcessStats
+{
+    std::uint64_t syscalls = 0;       //!< intercepted system calls
+    std::uint64_t waits = 0;          //!< syscalls that had to block
+    std::uint64_t epoch_timeouts = 0; //!< syncs that timed out
+};
+
+class KernelModule
+{
+  public:
+    /** Configuration of bounded asynchronous validation. */
+    struct Config
+    {
+        /** Epoch: max wait for the verifier's resume signal. */
+        std::chrono::milliseconds epoch{2000};
+        /**
+         * Spin window before blocking: the pipelined System-Call
+         * message is usually processed within the syscall's own entry
+         * latency, so a short spin avoids the sleep/wake round trip.
+         */
+        std::chrono::microseconds spin{50};
+        /** Kill the process on policy violation (paper default: yes). */
+        bool kill_on_violation = true;
+        /**
+         * Elide synchronization for read-only system calls (§5.3.3
+         * lists this as a potential improvement): syscalls without
+         * externally-visible side effects need no pause, because a
+         * compromised program cannot use them to attack the system.
+         */
+        bool elide_readonly_syscalls = false;
+    };
+
+    /** True for syscalls with no externally-visible side effects. */
+    static bool isReadOnlySyscall(std::uint64_t sysno);
+
+    KernelModule();
+    explicit KernelModule(Config config);
+
+    /** Attach the verifier's event listener (module load order). */
+    void setListener(ProcessEventListener *listener);
+
+    // --- Process lifecycle (invoked by the monitored runtime) --------
+
+    /** A process enables HerQules during startup (step 1a). */
+    Status enableProcess(Pid pid);
+
+    /** fork/clone interception: allocate the child's kernel context. */
+    Status forkProcess(Pid parent, Pid child);
+
+    /** exit interception: tear down the kernel context. */
+    void exitProcess(Pid pid);
+
+    // --- System-call interception (kprobes analog) -------------------
+
+    /**
+     * Pause the process at a system call until the verifier confirms
+     * all in-flight messages were processed without violations.
+     *
+     * @return Ok to resume the syscall; PolicyViolation when the process
+     *         was killed or the epoch expired.
+     */
+    /**
+     * @param spin_fast_path spin briefly before sleeping (the pipelined
+     *        design's ack usually arrives within the window). The naive
+     *        synchronous design always pays the sleep/wake round trip.
+     */
+    Status syscallEnter(Pid pid, std::uint64_t sysno,
+                        bool spin_fast_path = true);
+
+    // --- Privileged verifier channel ---------------------------------
+
+    /** Verifier saw the System-Call message: set the sync variable. */
+    void syscallResume(Pid pid);
+
+    /** Verifier detected a policy violation: terminate the process. */
+    void killProcess(Pid pid, const std::string &reason);
+
+    // --- Introspection ------------------------------------------------
+
+    bool isEnabled(Pid pid) const;
+    bool isKilled(Pid pid) const;
+    KernelProcessStats statsFor(Pid pid) const;
+    const Config &config() const { return _config; }
+
+  private:
+    /** Kernel context for one HerQules-enabled process. */
+    struct ProcessContext
+    {
+        bool sync_ok = false; //!< set by verifier, reset on resumption
+        bool killed = false;
+        std::string kill_reason;
+        KernelProcessStats stats;
+        std::condition_variable cv;
+    };
+
+    // Contexts are shared so a syscallEnter() waiter keeps its context
+    // (and condition variable) alive even if exitProcess() races with it.
+    std::shared_ptr<ProcessContext> find(Pid pid) const;
+
+    Config _config;
+    ProcessEventListener *_listener = nullptr;
+    mutable std::mutex _mutex;
+    std::unordered_map<Pid, std::shared_ptr<ProcessContext>> _processes;
+    /// Stats snapshots of exited processes (harness post-mortem).
+    std::unordered_map<Pid, KernelProcessStats> _exited_stats;
+};
+
+} // namespace hq
+
+#endif // HQ_KERNEL_KERNEL_H

@@ -1,0 +1,142 @@
+#include "policy/memory_safety.h"
+
+#include "common/log.h"
+
+namespace hq {
+
+Status
+MemorySafetyContext::violation(MemoryViolation kind, const Message &message)
+{
+    _last_violation = kind;
+    ++_violations;
+    return Status::error(StatusCode::PolicyViolation,
+                         "memory-safety: " + message.toString());
+}
+
+std::map<Addr, std::uint64_t>::const_iterator
+MemorySafetyContext::findContaining(Addr address) const
+{
+    auto it = _allocations.upper_bound(address);
+    if (it == _allocations.begin())
+        return _allocations.end();
+    --it;
+    if (address >= it->first && address < it->first + it->second)
+        return it;
+    return _allocations.end();
+}
+
+bool
+MemorySafetyContext::overlapsExisting(Addr base, std::uint64_t size) const
+{
+    if (size == 0)
+        return false;
+    // Allocation starting before base that extends into [base, base+size)?
+    auto it = _allocations.upper_bound(base);
+    if (it != _allocations.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second > base)
+            return true;
+    }
+    // Allocation starting inside [base, base+size)?
+    return it != _allocations.end() && it->first < base + size;
+}
+
+bool
+MemorySafetyContext::isLive(Addr address) const
+{
+    return findContaining(address) != _allocations.end();
+}
+
+Status
+MemorySafetyContext::handleMessage(const Message &message)
+{
+    switch (message.op) {
+      case Opcode::Init:
+      case Opcode::Syscall:
+      case Opcode::Heartbeat:
+      case Opcode::EventCount:
+        return Status::ok();
+
+      case Opcode::BlockSize:
+        _pending_block_size = message.arg0;
+        return Status::ok();
+
+      case Opcode::AllocCreate: {
+        const Addr base = message.arg0;
+        const std::uint64_t size = message.arg1;
+        if (overlapsExisting(base, size))
+            return violation(MemoryViolation::OverlapCreate, message);
+        _allocations[base] = size;
+        return Status::ok();
+      }
+
+      case Opcode::AllocCheck:
+        if (findContaining(message.arg0) == _allocations.end())
+            return violation(MemoryViolation::OutOfBounds, message);
+        return Status::ok();
+
+      case Opcode::AllocCheckBase: {
+        auto a1 = findContaining(message.arg0);
+        auto a2 = findContaining(message.arg1);
+        if (a1 == _allocations.end() || a2 == _allocations.end())
+            return violation(MemoryViolation::OutOfBounds, message);
+        if (a1 != a2)
+            return violation(MemoryViolation::CrossAllocation, message);
+        return Status::ok();
+      }
+
+      case Opcode::AllocExtend: {
+        const Addr src = message.arg0;
+        const Addr dst = message.arg1;
+        const std::uint64_t size = _pending_block_size;
+        _pending_block_size = 0;
+        auto it = _allocations.find(src);
+        if (it == _allocations.end())
+            return violation(MemoryViolation::InvalidFree, message);
+        _allocations.erase(it);
+        if (overlapsExisting(dst, size)) {
+            // Reinstate nothing: the extend target is invalid.
+            return violation(MemoryViolation::OverlapCreate, message);
+        }
+        _allocations[dst] = size;
+        return Status::ok();
+      }
+
+      case Opcode::AllocDestroy: {
+        auto it = _allocations.find(message.arg0);
+        if (it == _allocations.end())
+            return violation(MemoryViolation::InvalidFree, message);
+        _allocations.erase(it);
+        return Status::ok();
+      }
+
+      case Opcode::AllocDestroyAll: {
+        const Addr base = message.arg0;
+        const std::uint64_t size = message.arg1;
+        auto it = _allocations.lower_bound(base);
+        bool any = false;
+        while (it != _allocations.end() && it->first < base + size) {
+            it = _allocations.erase(it);
+            any = true;
+        }
+        if (!any)
+            return violation(MemoryViolation::InvalidFree, message);
+        return Status::ok();
+      }
+
+      default:
+        logWarn("memory-safety ignoring ", message.toString());
+        return Status::ok();
+    }
+}
+
+std::unique_ptr<PolicyContext>
+MemorySafetyContext::cloneForChild(Pid child) const
+{
+    auto clone = std::make_unique<MemorySafetyContext>(child);
+    clone->_allocations = _allocations;
+    clone->_pending_block_size = _pending_block_size;
+    return clone;
+}
+
+} // namespace hq

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory-safety execution policy (paper §4.2).
+ *
+ * Enforces spatial safety (accesses stay inside their allocation) and
+ * temporal safety (the allocation is still live) by tracking allocation
+ * creation, access checks, extension, and destruction in an interval map.
+ */
+
+#ifndef HQ_POLICY_MEMORY_SAFETY_H
+#define HQ_POLICY_MEMORY_SAFETY_H
+
+#include <cstdint>
+#include <map>
+
+#include "policy/policy.h"
+
+namespace hq {
+
+/** Classifies a detected memory-safety violation. */
+enum class MemoryViolation {
+    None,
+    OutOfBounds,     //!< access outside any live allocation
+    CrossAllocation, //!< two addresses in different allocations
+    OverlapCreate,   //!< new allocation overlaps a live one
+    InvalidFree,     //!< destroy of a non-allocation (or double free)
+};
+
+class MemorySafetyContext : public PolicyContext
+{
+  public:
+    explicit MemorySafetyContext(Pid pid) : _pid(pid) {}
+
+    Status handleMessage(const Message &message) override;
+    std::unique_ptr<PolicyContext> cloneForChild(Pid child) const override;
+    std::size_t entryCount() const override { return _allocations.size(); }
+
+    MemoryViolation lastViolation() const { return _last_violation; }
+    std::uint64_t violationCount() const { return _violations; }
+
+    /** True when address lies inside a live allocation (test hook). */
+    bool isLive(Addr address) const;
+
+  private:
+    Status violation(MemoryViolation kind, const Message &message);
+
+    /** Allocation containing address, or end(). */
+    std::map<Addr, std::uint64_t>::const_iterator findContaining(
+        Addr address) const;
+
+    /** True when [base, base+size) overlaps a live allocation. */
+    bool overlapsExisting(Addr base, std::uint64_t size) const;
+
+    Pid _pid;
+    /// base address -> size of each live allocation.
+    std::map<Addr, std::uint64_t> _allocations;
+    std::uint64_t _pending_block_size = 0;
+    MemoryViolation _last_violation = MemoryViolation::None;
+    std::uint64_t _violations = 0;
+};
+
+class MemorySafetyPolicy : public Policy
+{
+  public:
+    const std::string &name() const override { return _name; }
+
+    std::unique_ptr<PolicyContext>
+    makeContext(Pid pid) override
+    {
+        return std::make_unique<MemorySafetyContext>(pid);
+    }
+
+  private:
+    std::string _name = "memory-safety";
+};
+
+} // namespace hq
+
+#endif // HQ_POLICY_MEMORY_SAFETY_H

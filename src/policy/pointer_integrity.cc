@@ -1,0 +1,138 @@
+#include "policy/pointer_integrity.h"
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace hq {
+
+Status
+PointerIntegrityContext::violation(PointerViolation kind,
+                                   const Message &message)
+{
+    _last_violation = kind;
+    ++_violations;
+    return Status::error(StatusCode::PolicyViolation,
+                         "pointer-integrity: " + message.toString());
+}
+
+void
+PointerIntegrityContext::notePeak()
+{
+    if (_pointers.size() > _max_entries)
+        _max_entries = _pointers.size();
+}
+
+bool
+PointerIntegrityContext::lookup(Addr address, std::uint64_t &value_out) const
+{
+    auto it = _pointers.find(address);
+    if (it == _pointers.end())
+        return false;
+    value_out = it->second;
+    return true;
+}
+
+Status
+PointerIntegrityContext::handleMessage(const Message &message)
+{
+    switch (message.op) {
+      case Opcode::Init:
+      case Opcode::Syscall:
+      case Opcode::Heartbeat:
+      case Opcode::EventCount:
+        return Status::ok(); // not pointer-policy relevant
+
+      case Opcode::BlockSize:
+        _pending_block_size = message.arg0;
+        return Status::ok();
+
+      case Opcode::PointerDefine:
+        _pointers[message.arg0] = message.arg1;
+        notePeak();
+        return Status::ok();
+
+      case Opcode::PointerCheck:
+      case Opcode::PointerCheckInvalidate: {
+        auto it = _pointers.find(message.arg0);
+        if (it == _pointers.end()) {
+            // Never defined or previously invalidated: a use-after-free
+            // on a control-flow pointer.
+            return violation(PointerViolation::UseAfterFree, message);
+        }
+        if (it->second != message.arg1)
+            return violation(PointerViolation::Corrupted, message);
+        if (message.op == Opcode::PointerCheckInvalidate)
+            _pointers.erase(it);
+        return Status::ok();
+      }
+
+      case Opcode::PointerInvalidate:
+        _pointers.erase(message.arg0);
+        return Status::ok();
+
+      case Opcode::PointerBlockCopy:
+      case Opcode::PointerBlockMove: {
+        const Addr src = message.arg0;
+        const Addr dst = message.arg1;
+        const std::uint64_t size = _pending_block_size;
+        _pending_block_size = 0;
+        if (size == 0)
+            return Status::ok();
+
+        // Collect source pointers first: ranges may intersect for COPY.
+        std::vector<std::pair<Addr, std::uint64_t>> moved;
+        for (auto it = _pointers.lower_bound(src);
+             it != _pointers.end() && it->first < src + size; ++it) {
+            moved.emplace_back(dst + (it->first - src), it->second);
+        }
+
+        // MOVE removes the originals (realloc frees the source block).
+        if (message.op == Opcode::PointerBlockMove) {
+            auto it = _pointers.lower_bound(src);
+            while (it != _pointers.end() && it->first < src + size)
+                it = _pointers.erase(it);
+        }
+
+        // Pre-existing pointers in the destination are invalidated: the
+        // raw bytes there were overwritten.
+        {
+            auto it = _pointers.lower_bound(dst);
+            while (it != _pointers.end() && it->first < dst + size)
+                it = _pointers.erase(it);
+        }
+
+        for (const auto &[addr, value] : moved)
+            _pointers[addr] = value;
+        notePeak();
+        return Status::ok();
+      }
+
+      case Opcode::PointerBlockInvalidate: {
+        const Addr base = message.arg0;
+        const std::uint64_t size = message.arg1;
+        auto it = _pointers.lower_bound(base);
+        while (it != _pointers.end() && it->first < base + size)
+            it = _pointers.erase(it);
+        return Status::ok();
+      }
+
+      default:
+        // Allocation opcodes reaching the pointer policy indicate a
+        // misrouted message; not a program violation.
+        logWarn("pointer-integrity ignoring ", message.toString());
+        return Status::ok();
+    }
+}
+
+std::unique_ptr<PolicyContext>
+PointerIntegrityContext::cloneForChild(Pid child) const
+{
+    auto clone = std::make_unique<PointerIntegrityContext>(child);
+    clone->_pointers = _pointers;
+    clone->_pending_block_size = _pending_block_size;
+    clone->_max_entries = _pointers.size();
+    return clone;
+}
+
+} // namespace hq

@@ -1,0 +1,120 @@
+#include "runtime/memory.h"
+
+#include <cstring>
+
+namespace hq {
+
+SimMemory::SimMemory(const MemoryLayout &layout)
+    : _layout(layout),
+      _globals(layout.global_size),
+      _heap(layout.heap_size),
+      _stack(layout.stack_size),
+      _safe_stack(layout.safe_stack_size)
+{
+    // Without guard pages the safe stack is mapped flush against the
+    // top of the regular stack: a linear overwrite can sweep into it.
+    _safe_base = MemoryLayout::kStackBase + layout.stack_size +
+                 (layout.guard_pages ? MemoryLayout::kGuardGap : 0);
+}
+
+std::uint8_t *
+SimMemory::resolve(Addr addr, std::uint64_t size)
+{
+    return const_cast<std::uint8_t *>(
+        static_cast<const SimMemory *>(this)->resolveRead(addr, size));
+}
+
+const std::uint8_t *
+SimMemory::resolveRead(Addr addr, std::uint64_t size) const
+{
+    auto inRegion = [&](Addr base, const std::vector<std::uint8_t> &mem)
+        -> const std::uint8_t * {
+        if (addr >= base && addr + size <= base + mem.size())
+            return mem.data() + (addr - base);
+        return nullptr;
+    };
+    if (const auto *p = inRegion(MemoryLayout::kGlobalBase, _globals))
+        return p;
+    if (const auto *p = inRegion(MemoryLayout::kHeapBase, _heap))
+        return p;
+    if (const auto *p = inRegion(MemoryLayout::kStackBase, _stack))
+        return p;
+    if (const auto *p = inRegion(_safe_base, _safe_stack))
+        return p;
+    return nullptr;
+}
+
+bool
+SimMemory::mapped(Addr addr) const
+{
+    return resolveRead(addr, 1) != nullptr;
+}
+
+bool
+SimMemory::isReadOnly(Addr addr) const
+{
+    auto it = _readonly.upper_bound(addr);
+    if (it == _readonly.begin())
+        return false;
+    --it;
+    return addr >= it->first && addr < it->first + it->second;
+}
+
+Status
+SimMemory::read64(Addr addr, std::uint64_t &out) const
+{
+    const std::uint8_t *p = resolveRead(addr, 8);
+    if (!p) {
+        return Status::error(StatusCode::PermissionDenied,
+                             "segfault: read of unmapped address");
+    }
+    std::memcpy(&out, p, 8);
+    return Status::ok();
+}
+
+Status
+SimMemory::write64(Addr addr, std::uint64_t value)
+{
+    if (isReadOnly(addr)) {
+        return Status::error(StatusCode::PermissionDenied,
+                             "segfault: write to read-only memory");
+    }
+    std::uint8_t *p = resolve(addr, 8);
+    if (!p) {
+        return Status::error(StatusCode::PermissionDenied,
+                             "segfault: write to unmapped address");
+    }
+    std::memcpy(p, &value, 8);
+    return Status::ok();
+}
+
+Status
+SimMemory::copy(Addr dst, Addr src, std::uint64_t size, bool allow_overlap)
+{
+    if (size == 0)
+        return Status::ok();
+    if (isReadOnly(dst)) {
+        return Status::error(StatusCode::PermissionDenied,
+                             "segfault: block write to read-only memory");
+    }
+    const std::uint8_t *s = resolveRead(src, size);
+    std::uint8_t *d = resolve(dst, size);
+    if (!s || !d) {
+        return Status::error(StatusCode::PermissionDenied,
+                             "segfault: block copy out of range");
+    }
+    if (allow_overlap)
+        std::memmove(d, s, size);
+    else
+        std::memcpy(d, s, size);
+    return Status::ok();
+}
+
+void
+SimMemory::protectReadOnly(Addr base, std::uint64_t size)
+{
+    if (size)
+        _readonly[base] = size;
+}
+
+} // namespace hq

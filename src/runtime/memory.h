@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulated process address space for the VM.
+ *
+ * Four regions mirror a Linux process image: globals (data/BSS/rodata),
+ * heap, stack, and — when a design uses one — a safe stack. The safe
+ * stack is mapped either adjacent to the regular stack (CPI and
+ * HQ-CFI-SfeStk: a linear overwrite can sweep into it) or behind an
+ * unmapped guard gap (Clang/LLVM's safe stack, which adds guard pages;
+ * §5.2). Read-only globals (vtables, const tables) reject writes.
+ *
+ * All accesses are 8-byte words; the RIPE attack programs perform real
+ * out-of-bounds writes within this space.
+ */
+
+#ifndef HQ_RUNTIME_MEMORY_H
+#define HQ_RUNTIME_MEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hq {
+
+/** Fixed virtual layout of the simulated process. */
+struct MemoryLayout
+{
+    static constexpr Addr kGlobalBase = 0x10000000;
+    static constexpr Addr kHeapBase = 0x20000000;
+    static constexpr Addr kStackBase = 0x70000000;
+    /** Unmapped guard gap between stack top and the safe stack. */
+    static constexpr Addr kGuardGap = 0x10000;
+
+    std::size_t global_size = 1 << 20;
+    std::size_t heap_size = 16 << 20;
+    std::size_t stack_size = 4 << 20;
+    std::size_t safe_stack_size = 1 << 20;
+    bool guard_pages = false; //!< gap before the safe stack
+};
+
+class SimMemory
+{
+  public:
+    explicit SimMemory(const MemoryLayout &layout);
+
+    /** Base address of the safe-stack region. */
+    Addr safeStackBase() const { return _safe_base; }
+    Addr stackBase() const { return MemoryLayout::kStackBase; }
+    Addr heapBase() const { return MemoryLayout::kHeapBase; }
+    Addr globalBase() const { return MemoryLayout::kGlobalBase; }
+
+    /** Read one 8-byte word; fails on unmapped addresses. */
+    Status read64(Addr addr, std::uint64_t &out) const;
+
+    /** Write one 8-byte word; fails on unmapped/read-only addresses. */
+    Status write64(Addr addr, std::uint64_t value);
+
+    /** Block copy (memcpy/memmove semantics, byte granularity). */
+    Status copy(Addr dst, Addr src, std::uint64_t size, bool allow_overlap);
+
+    /** Mark [base, base+size) as read-only (RoData globals). */
+    void protectReadOnly(Addr base, std::uint64_t size);
+
+    /** True when the address is inside a mapped region. */
+    bool mapped(Addr addr) const;
+
+  private:
+    /** Resolve to (region storage, offset); nullptr when unmapped. */
+    std::uint8_t *resolve(Addr addr, std::uint64_t size);
+    const std::uint8_t *resolveRead(Addr addr, std::uint64_t size) const;
+    bool isReadOnly(Addr addr) const;
+
+    MemoryLayout _layout;
+    std::vector<std::uint8_t> _globals;
+    std::vector<std::uint8_t> _heap;
+    std::vector<std::uint8_t> _stack;
+    std::vector<std::uint8_t> _safe_stack;
+    Addr _safe_base;
+    /** Sorted read-only ranges inside the globals region. */
+    std::map<Addr, std::uint64_t> _readonly;
+};
+
+} // namespace hq
+
+#endif // HQ_RUNTIME_MEMORY_H

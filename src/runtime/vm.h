@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The monitored-program virtual machine.
+ *
+ * Executes mini-IR modules inside a simulated process address space.
+ * This is the reproduction's stand-in for native execution of an
+ * LLVM-instrumented binary: instrumentation instructions inserted by
+ * the compiler passes perform *real* work — HQ ops send real messages
+ * through a real AppendWrite channel to a concurrent verifier; baseline
+ * ops (Clang CFI type checks, CCFI MACs, CPI safe-store accesses) run
+ * their design's checking semantics in-process, with that design's
+ * characteristic blind spots.
+ *
+ * Control-flow realism: return pointers are stored in simulated memory
+ * (regular stack or safe stack) and *used* for control transfer — an
+ * attacker's out-of-bounds write that corrupts one genuinely diverts
+ * execution, which is what the RIPE suite exploits.
+ */
+
+#ifndef HQ_RUNTIME_VM_H
+#define HQ_RUNTIME_VM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.h"
+#include "runtime/memory.h"
+#include "runtime/runtime.h"
+
+namespace hq {
+
+/**
+ * Observer of the dynamic instruction stream, implemented by the
+ * microarchitectural simulator (src/sim). When attached, the VM calls
+ * onInstr() for every executed instruction.
+ */
+class CycleSink
+{
+  public:
+    virtual ~CycleSink() = default;
+    virtual void onInstr(const ir::Instr &instr) = 0;
+};
+
+/** Design-level runtime behavior of the VM. */
+struct VmConfig
+{
+    /** Return pointers live in the safe-stack region. */
+    bool safe_stack = false;
+    /** Unmapped guard gap before the safe stack (Clang safe stack). */
+    bool guard_pages = false;
+    /** Hq* instructions send messages via the runtime. */
+    bool hq_messages = false;
+    /** HQ-CFI-RetPtr: message-protect return pointers per §4.1.6. */
+    bool retptr_messages = false;
+    /** CCFI runtime: MAC table semantics, incl. return-pointer MACs. */
+    bool ccfi_runtime = false;
+    /** CPI runtime: safe pointer store + free/realloc maintenance. */
+    bool cpi_runtime = false;
+    /** Clang/LLVM CFI runtime: signature-class checks. */
+    bool clangcfi_runtime = false;
+    /** Memory-safety policy (§4.2): allocation messages. */
+    bool memsafety_messages = false;
+    /** Abort on failed inline check (baselines kill the process). */
+    bool stop_on_inline_violation = true;
+    /**
+     * Ablation: naive synchronous validation — before each system call,
+     * wait until the verifier has drained every outstanding message
+     * (instead of pipelining the System-Call message; §2.2).
+     */
+    bool naive_sync = false;
+    /** Instruction budget; exceeding it reports Hang. */
+    std::uint64_t max_instructions = 1ULL << 30;
+    /** Function id whose entry marks attack success (RIPE). */
+    int attack_payload_function = -1;
+    /** Memory layout (guard_pages is mirrored into it). */
+    MemoryLayout layout;
+    /** Optional dynamic-instruction observer (cycle simulator). */
+    CycleSink *cycle_sink = nullptr;
+};
+
+/** How a VM run ended. */
+enum class ExitKind {
+    Ok,              //!< entry function returned
+    Crash,           //!< segfault / wild jump / invalid free
+    Hang,            //!< instruction budget exhausted
+    Killed,          //!< kernel terminated the process (policy)
+    InlineViolation, //!< baseline design check failed and aborted
+    GuardFailure,    //!< store-to-load forwarding guard tripped
+};
+
+const char *exitKindName(ExitKind kind);
+
+struct RunResult
+{
+    ExitKind exit = ExitKind::Ok;
+    std::uint64_t return_value = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t inline_checks = 0;
+    std::uint64_t inline_violations = 0;
+    bool attack_payload_reached = false;
+    std::string detail;
+};
+
+class Vm
+{
+  public:
+    /**
+     * @param module  instrumented module to execute
+     * @param config  design-level runtime behavior
+     * @param runtime HerQules runtime (may be nullptr for baselines)
+     */
+    Vm(const ir::Module &module, const VmConfig &config,
+       HqRuntime *runtime);
+
+    /** Execute the module's entry function to completion. */
+    RunResult run(const std::vector<std::uint64_t> &args = {});
+
+    SimMemory &memory() { return _memory; }
+
+    /** Simulated address of a global (valid after construction). */
+    Addr globalAddr(int global_id) const
+    {
+        return _global_addrs[global_id];
+    }
+
+    /** Encode a function id as a runtime function-pointer value. */
+    static std::uint64_t
+    encodeFuncPtr(int func_id)
+    {
+        return kFuncPtrTag | static_cast<std::uint32_t>(func_id);
+    }
+
+    static bool
+    isFuncPtrValue(std::uint64_t value)
+    {
+        return (value & kTagMask) == kFuncPtrTag;
+    }
+
+    static int
+    decodeFuncPtr(std::uint64_t value)
+    {
+        return static_cast<int>(value & 0xFFFFFFFF);
+    }
+
+  private:
+    static constexpr std::uint64_t kTagMask = 0xFF00000000000000ULL;
+    static constexpr std::uint64_t kFuncPtrTag = 0xF100000000000000ULL;
+    static constexpr std::uint64_t kRetTokenTag = 0xE200000000000000ULL;
+    static constexpr std::uint64_t kJmpTokenTag = 0xD300000000000000ULL;
+
+    /** Saved continuation for setjmp/longjmp. */
+    struct JmpState
+    {
+        std::size_t frame_depth = 0;   //!< frames.size() at setjmp
+        std::uint64_t frame_token = 0; //!< expected_ret of that frame
+        int block = -1;                //!< setjmp position
+        int index = -1;
+        int dest_reg = -1;             //!< setjmp result register
+        Addr stack_cursor = 0;
+        Addr safe_cursor = 0;
+        Addr alloca_cursor = 0;
+    };
+
+    struct Frame
+    {
+        int func = -1;
+        std::vector<std::uint64_t> regs;
+        Addr frame_base = 0;    //!< alloca area base
+        Addr alloca_cursor = 0;
+        Addr retptr_addr = 0;
+        std::uint64_t expected_ret = 0;
+        int ret_block = -1;   //!< caller resume block
+        int ret_index = -1;   //!< caller resume instruction index
+        int dest_reg = -1;    //!< caller register for the return value
+        Addr stack_save = 0;
+        Addr safe_save = 0;
+    };
+
+    void layoutGlobals();
+    void registerGlobalPointers();
+
+    /** Push a frame and transfer control to func's entry. */
+    Status pushFrame(int func_id, const std::vector<int> &arg_regs,
+                     int dest_reg);
+
+    /** Heap allocator. */
+    Addr heapAlloc(std::uint64_t size);
+    bool heapFree(Addr addr, std::uint64_t &size_out);
+
+    std::uint64_t macCompute(Addr addr, std::uint64_t value,
+                             int type_class) const;
+
+    RunResult finish(ExitKind kind, std::string detail);
+
+    const ir::Module &_module;
+    VmConfig _config;
+    HqRuntime *_runtime;
+    SimMemory _memory;
+
+    std::vector<Addr> _global_addrs;
+    std::vector<std::uint64_t> _alloca_totals; //!< per function
+
+    // Interpreter state.
+    std::vector<Frame> _frames;
+    int _cur_block = 0;
+    int _cur_index = 0;
+    Addr _stack_cursor;
+    Addr _safe_cursor;
+    std::uint64_t _ret_nonce = 0;
+
+    // Heap allocator state.
+    Addr _heap_cursor;
+    std::unordered_map<std::uint64_t, std::vector<Addr>> _free_lists;
+    std::unordered_map<Addr, std::uint64_t> _alloc_sizes;
+
+    // Baseline design state.
+    std::unordered_map<Addr, std::uint64_t> _mac_table;   // CCFI
+    std::map<Addr, std::uint64_t> _safe_store;            // CPI
+    std::unordered_set<int> _vtable_functions; // Clang CFI vcall check
+    std::vector<char> _guard_flags; // store-to-load forwarding guards
+    std::unordered_map<std::uint64_t, JmpState> _jmp_states;
+    std::uint64_t _jmp_nonce = 0;
+
+    RunResult _result;
+};
+
+} // namespace hq
+
+#endif // HQ_RUNTIME_VM_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cycle-approximate out-of-order core model — the reproduction's
+ * substitute for ZSim (paper §5.3.1, Figure 4).
+ *
+ * The model consumes the VM's dynamic instruction stream and charges
+ * micro-ops and memory latency against a superscalar issue budget:
+ *
+ *  - every IR instruction maps to a static µop count;
+ *  - loads probabilistically (deterministically hashed) miss L1/L2 and
+ *    stall;
+ *  - conditional branches mispredict at a fixed rate and pay a redirect
+ *    penalty;
+ *  - AppendWrite messages cost either the software-MODEL sequence
+ *    (fetch + check + increment of AppendAddr in shared memory, then
+ *    the copy: several µops and a shared-line access) or the hardware
+ *    AppendWrite-µarch instruction (a single store µop: the
+ *    store-address µop reuses AppendAddr directly, one *fewer* µop
+ *    than a normal store, and no TLB check — §3.1.2).
+ *
+ * Comparing total cycles of the instrumented program under the two
+ * AppendWrite costings against the uninstrumented baseline regenerates
+ * Figure 4's MODEL-vs-SIM comparison; as in the paper, system-call time
+ * is excluded (userspace cycles only).
+ */
+
+#ifndef HQ_SIM_CORE_MODEL_H
+#define HQ_SIM_CORE_MODEL_H
+
+#include <cstdint>
+
+#include "runtime/vm.h"
+
+namespace hq {
+
+/** Core/cache parameters (defaults resemble a desktop-class OoO core). */
+struct CoreConfig
+{
+    int issue_width = 4;       //!< µops issued per cycle
+    int l2_latency = 12;       //!< cycles, beyond the L1 hit (pipelined)
+    int mem_latency = 180;     //!< cycles for a memory access
+    double l1_miss = 0.04;     //!< per-load L1 miss probability
+    double l2_miss = 0.01;     //!< per-load L2 (to memory) probability
+    double mispredict = 0.04;  //!< conditional-branch mispredict rate
+    int mispredict_penalty = 14;
+    /**
+     * Hardware AppendWrite (the -SIM costing): messages are single
+     * store µops. When false, the software MODEL costing applies.
+     */
+    bool hw_appendwrite = false;
+    /** Shared AppendAddr cacheline miss rate under the software model. */
+    double model_shared_miss = 0.12;
+};
+
+class CoreModel : public CycleSink
+{
+  public:
+    explicit CoreModel(CoreConfig config = CoreConfig());
+
+    void onInstr(const ir::Instr &instr) override;
+
+    /** Total simulated cycles (µops/width + stall cycles). */
+    std::uint64_t cycles() const;
+
+    std::uint64_t instructions() const { return _instructions; }
+    std::uint64_t uops() const { return _uops; }
+    std::uint64_t appendwrites() const { return _appendwrites; }
+
+  private:
+    /** Deterministic per-event pseudo-random draw in [0,1). */
+    double draw();
+
+    CoreConfig _config;
+    std::uint64_t _instructions = 0;
+    std::uint64_t _uops = 0;
+    std::uint64_t _stall_cycles = 0;
+    std::uint64_t _appendwrites = 0;
+    std::uint64_t _rng_state = 0x853c49e6748fea9bULL;
+};
+
+} // namespace hq
+
+#endif // HQ_SIM_CORE_MODEL_H

@@ -1,0 +1,214 @@
+#include "verifier/verifier.h"
+
+#include "common/log.h"
+
+namespace hq {
+
+Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy)
+    : Verifier(kernel, std::move(policy), Config{})
+{
+}
+
+Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
+                   Config config)
+    : _kernel(kernel), _policy(std::move(policy)), _config(config)
+{
+    _kernel.setListener(this);
+}
+
+Verifier::~Verifier()
+{
+    stop();
+    _kernel.setListener(nullptr);
+}
+
+void
+Verifier::attachChannel(Channel *channel, Pid owner, bool device_stamped)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    ChannelEntry entry;
+    entry.channel = channel;
+    entry.owner = owner;
+    entry.device_stamped = device_stamped;
+    _channels.push_back(entry);
+}
+
+void
+Verifier::start()
+{
+    bool expected = false;
+    if (!_running.compare_exchange_strong(expected, true))
+        return;
+    _thread = std::thread([this] { eventLoop(); });
+}
+
+void
+Verifier::stop()
+{
+    if (!_running.exchange(false))
+        return;
+    if (_thread.joinable())
+        _thread.join();
+    // Drain anything that arrived during shutdown.
+    poll();
+    if (_config.kill_on_verifier_exit) {
+        // Without a verifier no violations can be detected, so
+        // monitored programs must not keep running (§3.4).
+        std::lock_guard<std::mutex> guard(_mutex);
+        for (auto &[pid, process] : _processes) {
+            if (!process.exited)
+                _kernel.killProcess(pid, "verifier terminated");
+        }
+    }
+}
+
+void
+Verifier::eventLoop()
+{
+    while (_running.load(std::memory_order_relaxed)) {
+        if (poll() == 0)
+            std::this_thread::yield();
+    }
+}
+
+std::size_t
+Verifier::poll()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::size_t processed = 0;
+    for (auto &entry : _channels) {
+        Message message;
+        while (entry.channel->tryRecv(message)) {
+            handleMessage(entry, message);
+            ++processed;
+        }
+    }
+    _total_messages.fetch_add(processed, std::memory_order_relaxed);
+    return processed;
+}
+
+void
+Verifier::recordViolation(Pid pid, ProcessEntry &process,
+                          const std::string &reason)
+{
+    process.violated = true;
+    ++process.stats.violations;
+    logDebug("verifier: violation for pid ", pid, ": ", reason);
+    if (_config.kill_on_violation)
+        _kernel.killProcess(pid, reason);
+}
+
+void
+Verifier::handleMessage(ChannelEntry &entry, const Message &message)
+{
+    // Authenticity: trust the hardware-stamped PID when present,
+    // otherwise the kernel-arbitrated channel registration.
+    const Pid pid = entry.device_stamped ? message.pid : entry.owner;
+
+    auto it = _processes.find(pid);
+    if (it == _processes.end()) {
+        logDebug("verifier: message for unknown pid ", pid, ": ",
+                 message.toString());
+        return;
+    }
+    ProcessEntry &process = it->second;
+    if (process.exited || !process.context)
+        return; // stale message from an already-exited process
+    ++process.stats.messages;
+
+    // Message-integrity: the FPGA path has no back-pressure, so the
+    // verifier requires consecutive sequence counters; a gap means
+    // messages were dropped and the program must be terminated.
+    if (_config.check_sequence && entry.device_stamped) {
+        if (entry.seq_started &&
+            message.seq != entry.expected_seq) {
+            recordViolation(pid, process,
+                            "message sequence gap: integrity violated");
+        }
+        entry.seq_started = true;
+        entry.expected_seq = message.seq + 1;
+    }
+
+    const Status status = process.context->handleMessage(message);
+    if (!status.isOk())
+        recordViolation(pid, process, status.message());
+
+    process.stats.max_entries =
+        std::max(process.stats.max_entries, process.context->entryCount());
+
+    if (message.op == Opcode::Syscall) {
+        // All earlier messages on this (in-order) channel have been
+        // processed; notify the kernel to resume the system call,
+        // unless the process was violated and kill-on-violation is set.
+        if (!(process.violated && _config.kill_on_violation)) {
+            ++process.stats.syscall_acks;
+            _kernel.syscallResume(pid);
+        }
+    }
+}
+
+void
+Verifier::onProcessEnabled(Pid pid)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    ProcessEntry entry;
+    entry.context = _policy->makeContext(pid);
+    _processes[pid] = std::move(entry);
+}
+
+void
+Verifier::onProcessForked(Pid parent, Pid child)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _processes.find(parent);
+    if (it == _processes.end()) {
+        logWarn("verifier: fork from unknown parent ", parent);
+        return;
+    }
+    ProcessEntry entry;
+    entry.context = it->second.context->cloneForChild(child);
+    _processes[child] = std::move(entry);
+}
+
+void
+Verifier::onProcessExited(Pid pid)
+{
+    // Drain in-flight messages before tearing the process down: the
+    // exit notification arrives over the privileged channel and must
+    // not outrun the message stream.
+    poll();
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _processes.find(pid);
+    if (it == _processes.end())
+        return;
+    // The policy context is kept for post-mortem inspection by the
+    // harnesses; the exited flag stops further message processing.
+    it->second.exited = true;
+}
+
+bool
+Verifier::hasViolation(Pid pid) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _processes.find(pid);
+    return it != _processes.end() && it->second.violated;
+}
+
+VerifierProcessStats
+Verifier::statsFor(Pid pid) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _processes.find(pid);
+    return it == _processes.end() ? VerifierProcessStats{}
+                                  : it->second.stats;
+}
+
+PolicyContext *
+Verifier::contextFor(Pid pid)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _processes.find(pid);
+    return it == _processes.end() ? nullptr : it->second.context.get();
+}
+
+} // namespace hq

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The HerQules verifier (paper §3.4).
+ *
+ * A user-space process that maintains a policy context per monitored
+ * application. It receives messages over AppendWrite channels, is
+ * notified of process events (enable/fork/exit) by the kernel module
+ * over the privileged channel, and notifies the kernel to resume paused
+ * system calls once all of a process's outstanding messages have been
+ * processed without a policy violation.
+ *
+ * By default monitored programs are killed upon policy violation, but —
+ * as in the paper's evaluation, which continues execution to count false
+ * positives — this behavior is configurable.
+ */
+
+#ifndef HQ_VERIFIER_VERIFIER_H
+#define HQ_VERIFIER_VERIFIER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "ipc/channel.h"
+#include "kernel/kernel.h"
+#include "policy/policy.h"
+
+namespace hq {
+
+/** Per-process verifier statistics (§5.4 metrics). */
+struct VerifierProcessStats
+{
+    std::uint64_t messages = 0;     //!< messages processed
+    std::uint64_t violations = 0;   //!< failed policy checks
+    std::uint64_t syscall_acks = 0; //!< resume notifications sent
+    std::size_t max_entries = 0;    //!< peak policy metadata entries
+};
+
+class Verifier : public ProcessEventListener
+{
+  public:
+    struct Config
+    {
+        /** Ask the kernel to kill the process on a violation. */
+        bool kill_on_violation = true;
+        /** Verify consecutive per-channel sequence counters (FPGA). */
+        bool check_sequence = false;
+        /**
+         * Kill still-running monitored processes when the verifier
+         * terminates (the paper's default for unexpected verifier
+         * termination; configurable, §3.4).
+         */
+        bool kill_on_verifier_exit = false;
+    };
+
+    /**
+     * @param kernel the kernel module (privileged channel peer)
+     * @param policy policy whose contexts govern monitored processes
+     */
+    Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy);
+    Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
+             Config config);
+    ~Verifier() override;
+
+    /**
+     * Register a message channel owned by one monitored process. For
+     * device-stamped channels (FPGA) the message PID field is trusted;
+     * for software channels the registered owner identifies the sender,
+     * mirroring kernel-arbitrated channel creation.
+     *
+     * @param device_stamped message.pid comes from trusted hardware
+     */
+    void attachChannel(Channel *channel, Pid owner,
+                       bool device_stamped = false);
+
+    /** Start the event-loop thread. */
+    void start();
+
+    /** Drain remaining messages and stop the event-loop thread. */
+    void stop();
+
+    /**
+     * Process pending messages synchronously on the caller's thread.
+     * Used by deterministic unit tests instead of start()/stop().
+     * @return number of messages processed.
+     */
+    std::size_t poll();
+
+    // --- ProcessEventListener (privileged kernel notifications) ------
+    void onProcessEnabled(Pid pid) override;
+    void onProcessForked(Pid parent, Pid child) override;
+    void onProcessExited(Pid pid) override;
+
+    // --- Introspection -------------------------------------------------
+    bool hasViolation(Pid pid) const;
+    VerifierProcessStats statsFor(Pid pid) const;
+
+    /** Policy context for a pid (test hook); nullptr when unknown. */
+    PolicyContext *contextFor(Pid pid);
+
+    /** Total messages processed across all processes. */
+    std::uint64_t totalMessages() const
+    {
+        return _total_messages.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct ChannelEntry
+    {
+        Channel *channel = nullptr;
+        Pid owner = 0;
+        bool device_stamped = false;
+        std::uint32_t expected_seq = 0;
+        bool seq_started = false;
+    };
+
+    struct ProcessEntry
+    {
+        std::unique_ptr<PolicyContext> context;
+        VerifierProcessStats stats;
+        bool violated = false;
+        bool exited = false;
+    };
+
+    void eventLoop();
+    void handleMessage(ChannelEntry &entry, const Message &message);
+    void recordViolation(Pid pid, ProcessEntry &process,
+                         const std::string &reason);
+
+    KernelModule &_kernel;
+    std::shared_ptr<Policy> _policy;
+    Config _config;
+
+    mutable std::mutex _mutex;
+    std::vector<ChannelEntry> _channels;
+    std::unordered_map<Pid, ProcessEntry> _processes;
+
+    std::thread _thread;
+    std::atomic<bool> _running{false};
+    std::atomic<std::uint64_t> _total_messages{0};
+};
+
+} // namespace hq
+
+#endif // HQ_VERIFIER_VERIFIER_H

@@ -1,0 +1,496 @@
+#include "workloads/ripe.h"
+
+#include "common/log.h"
+#include "ipc/shm_channel.h"
+#include "ir/builder.h"
+#include "policy/pointer_integrity.h"
+#include "runtime/vm.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+
+using namespace ir;
+
+namespace {
+
+/// Signature classes: victim call sites use class 0; fresh shellcode is
+/// class 1 (type-incompatible, so type-matching CFI can reject it).
+constexpr int kSigSite = 0;
+constexpr int kSigShellcode = 1;
+
+constexpr std::uint64_t kConfirmMagic = 0x5AFE5AFE5AFE5AFEULL;
+
+} // namespace
+
+const char *
+attackOriginName(AttackOrigin origin)
+{
+    switch (origin) {
+      case AttackOrigin::Bss: return "bss";
+      case AttackOrigin::Data: return "data";
+      case AttackOrigin::Heap: return "heap";
+      case AttackOrigin::Stack: return "stack";
+    }
+    return "?";
+}
+
+const char *
+attackTargetName(AttackTarget target)
+{
+    switch (target) {
+      case AttackTarget::FuncPtr: return "funcptr";
+      case AttackTarget::StructFuncPtr: return "structfuncptr";
+      case AttackTarget::LongjmpBuf: return "longjmpbuf";
+      case AttackTarget::VtablePtr: return "vtableptr";
+      case AttackTarget::VtableReuse: return "vtablereuse";
+      case AttackTarget::RetPtr: return "retptr";
+    }
+    return "?";
+}
+
+const char *
+attackTechniqueName(AttackTechnique technique)
+{
+    switch (technique) {
+      case AttackTechnique::DirectOverflow: return "direct";
+      case AttackTechnique::IndirectRedirect: return "indirect";
+      case AttackTechnique::DisclosureWrite: return "disclose-write";
+      case AttackTechnique::DisclosureSweep: return "disclose-sweep";
+    }
+    return "?";
+}
+
+std::string
+RipeAttack::name() const
+{
+    return std::string(attackOriginName(origin)) + "/" +
+           attackTargetName(target) + "/" +
+           attackTechniqueName(technique) + "/" +
+           (payload == AttackPayload::Shellcode ? "shellcode" : "libc") +
+           "#" + std::to_string(variant);
+}
+
+std::vector<RipeAttack>
+ripeAttackSuite(int variants_per_group)
+{
+    std::vector<RipeAttack> suite;
+    auto add = [&](AttackOrigin o, AttackTarget t, AttackTechnique q,
+                   AttackPayload p) {
+        for (int v = 0; v < variants_per_group; ++v)
+            suite.push_back(RipeAttack{o, t, q, p, v});
+    };
+
+    for (AttackOrigin origin :
+         {AttackOrigin::Bss, AttackOrigin::Data, AttackOrigin::Heap,
+          AttackOrigin::Stack}) {
+        using T = AttackTarget;
+        using Q = AttackTechnique;
+        using P = AttackPayload;
+        add(origin, T::FuncPtr, Q::DirectOverflow, P::Shellcode);
+        add(origin, T::FuncPtr, Q::DirectOverflow, P::Libc);
+        add(origin, T::FuncPtr, Q::IndirectRedirect, P::Shellcode);
+        add(origin, T::FuncPtr, Q::IndirectRedirect, P::Libc);
+        add(origin, T::StructFuncPtr, Q::DirectOverflow, P::Shellcode);
+        add(origin, T::StructFuncPtr, Q::IndirectRedirect, P::Shellcode);
+        add(origin, T::LongjmpBuf, Q::DirectOverflow, P::Shellcode);
+        add(origin, T::LongjmpBuf, Q::IndirectRedirect, P::Shellcode);
+        add(origin, T::VtablePtr, Q::DirectOverflow, P::Shellcode);
+        add(origin, T::VtablePtr, Q::IndirectRedirect, P::Shellcode);
+        add(origin, T::VtableReuse, Q::DirectOverflow, P::Shellcode);
+        if (origin == AttackOrigin::Stack) {
+            // Stack-origin return-pointer attacks are the classic
+            // contiguous smash: disclosure locates the slot, but the
+            // write is still a linear sweep from the buffer.
+            add(origin, T::RetPtr, Q::DisclosureSweep, P::Shellcode);
+            add(origin, T::RetPtr, Q::DisclosureSweep, P::Libc);
+        } else {
+            add(origin, T::RetPtr, Q::DisclosureWrite, P::Shellcode);
+            add(origin, T::RetPtr, Q::DisclosureWrite, P::Libc);
+        }
+    }
+    return suite;
+}
+
+namespace {
+
+/** Builds the victim program for one attack. */
+class RipeBuilder
+{
+  public:
+    explicit RipeBuilder(const RipeAttack &attack)
+        : _attack(attack), _builder(_module)
+    {
+        _module.name = "ripe." + attack.name();
+        _module.num_signature_classes = 2;
+    }
+
+    ir::Module build();
+
+    int payloadFunction() const { return _payload_fn; }
+    int confirmedGlobal() const { return _confirmed; }
+
+  private:
+    void buildFunctions();
+    void buildGlobals();
+    void buildVictim();
+
+    /** Emit a sweep storing value_reg at [from, to] step 8. */
+    void emitSweep(int from_reg, int to_reg, int value_reg, int i_slot);
+
+    const RipeAttack _attack;
+    ir::Module _module;
+    IrBuilder _builder;
+
+    int _libc_fn = -1;
+    int _payload_fn = -1;
+    int _benign_fn = -1;
+    int _hijack_fn = -1; //!< function whose entry means attack success
+    int _class_a = -1;
+    int _class_b = -1;
+    int _confirmed = -1;
+    int _attacker_input = -1;
+    int _g_buf = -1;
+    int _g_target = -1;
+};
+
+void
+RipeBuilder::buildFunctions()
+{
+    // A confirming function body: perform the verification system call,
+    // then record success (only reachable if the syscall completed).
+    auto confirmBody = [&] {
+        _builder.syscall(59); // execve-like
+        const int addr = _builder.globalAddr(_confirmed);
+        const int magic = _builder.constInt(kConfirmMagic);
+        _builder.store(addr, magic, TypeRef::intTy());
+        _builder.ret(_builder.constInt(1));
+    };
+
+    // Globals must exist before function bodies that reference them.
+    Global confirmed;
+    confirmed.name = "exploit_confirmed";
+    confirmed.size = 8;
+    confirmed.section = Section::Data;
+    _confirmed = _builder.addGlobal(std::move(confirmed));
+
+    _libc_fn = _builder.beginFunction("libc_system", 1, kSigSite);
+    confirmBody();
+    _builder.endFunction();
+
+    _payload_fn =
+        _builder.beginFunction("attack_payload", 1, kSigShellcode);
+    confirmBody();
+    _builder.endFunction();
+
+    _benign_fn = _builder.beginFunction("benign_handler", 1, kSigSite);
+    const int one = _builder.constInt(1);
+    _builder.ret(_builder.arith(ArithKind::Add, _builder.param(0), one));
+    _builder.endFunction();
+
+    // Vtable classes. method_b doubles as an existing-code gadget for
+    // the vtable-reuse attack, so reaching it confirms the exploit.
+    const int method_a =
+        _builder.beginFunction("ClassA_method", 2, -1);
+    {
+        const int c = _builder.constInt(3);
+        _builder.ret(
+            _builder.arith(ArithKind::Mul, _builder.param(1), c));
+    }
+    _builder.endFunction();
+    const int method_b =
+        _builder.beginFunction("ClassB_method", 2, -1);
+    confirmBody();
+    _builder.endFunction();
+    _class_a = _builder.addClass("ClassA", {method_a});
+    _class_b = _builder.addClass("ClassB", {method_b});
+
+    _hijack_fn = _attack.target == AttackTarget::VtableReuse
+                     ? method_b
+                     : (_attack.payload == AttackPayload::Libc
+                            ? _libc_fn
+                            : _payload_fn);
+}
+
+void
+RipeBuilder::buildGlobals()
+{
+    // Attacker-controlled input: carries the hijack value as raw data
+    // (a network payload), so no compiler-visible function-pointer
+    // expression is involved in the corrupting writes.
+    Global input;
+    input.name = "attacker_input";
+    input.size = 16;
+    input.section = Section::Data;
+    input.word_init.emplace_back(0, Vm::encodeFuncPtr(_hijack_fn));
+    _attacker_input = _builder.addGlobal(std::move(input));
+
+    if (_attack.origin == AttackOrigin::Bss ||
+        _attack.origin == AttackOrigin::Data) {
+        const Section section = _attack.origin == AttackOrigin::Bss
+                                    ? Section::Bss
+                                    : Section::Data;
+        Global buf;
+        buf.name = "overflow_buf";
+        buf.size = 64;
+        buf.section = section;
+        _g_buf = _builder.addGlobal(std::move(buf));
+        // Declared immediately after the buffer: adjacent in memory.
+        Global target;
+        target.name = "victim_target";
+        target.size = 16;
+        target.section = section;
+        _g_target = _builder.addGlobal(std::move(target));
+    }
+}
+
+void
+RipeBuilder::emitSweep(int from_reg, int to_reg, int value_reg, int i_slot)
+{
+    _builder.store(i_slot, from_reg, TypeRef::dataPtr());
+    const int bb_head = _builder.newBlock();
+    const int bb_body = _builder.newBlock();
+    const int bb_done = _builder.newBlock();
+    _builder.br(bb_head);
+
+    _builder.setBlock(bb_head);
+    const int cursor = _builder.load(i_slot, TypeRef::dataPtr());
+    const int eight = _builder.constInt(8);
+    const int limit = _builder.arith(ArithKind::Add, to_reg, eight);
+    const int more = _builder.arith(ArithKind::Lt, cursor, limit);
+    _builder.condBr(more, bb_body, bb_done);
+
+    _builder.setBlock(bb_body);
+    const int c2 = _builder.load(i_slot, TypeRef::dataPtr());
+    _builder.store(c2, value_reg, TypeRef::intTy()); // the overflow
+    const int e2 = _builder.constInt(8);
+    const int next = _builder.arith(ArithKind::Add, c2, e2);
+    _builder.store(i_slot, next, TypeRef::dataPtr());
+    _builder.br(bb_head);
+
+    _builder.setBlock(bb_done);
+}
+
+void
+RipeBuilder::buildVictim()
+{
+    _builder.beginFunction("victim", 1);
+
+    // Allocas, in frame order. The sweep loop counter and scratch come
+    // *before* the buffer so linear overwrites cannot clobber them.
+    const int i_slot = _builder.allocaOp(8);
+    const int scratch = _builder.allocaOp(8);
+    _builder.store(scratch, _builder.param(0), TypeRef::intTy());
+
+    int buf = -1;       // origin buffer address
+    int target = -1;    // corrupted location
+    int obj = -1;       // vtable-attack object
+    int fp_between = -1; // protected local between buffer and retptr
+
+    const bool stack_origin = _attack.origin == AttackOrigin::Stack;
+    const bool vtable_attack =
+        _attack.target == AttackTarget::VtablePtr ||
+        _attack.target == AttackTarget::VtableReuse;
+
+    // --- Place the origin buffer and the adjacent target -------------
+    if (stack_origin) {
+        buf = _builder.allocaOp(64);
+        if (_attack.target == AttackTarget::RetPtr) {
+            // A protected function-pointer local sits between the
+            // buffer and the frame's return-pointer slot: a sweep will
+            // corrupt it on the way, and the victim uses it.
+            fp_between = _builder.allocaOp(8);
+        } else if (vtable_attack) {
+            obj = _builder.allocaOp(16);
+            target = obj;
+        } else {
+            const int region = _builder.allocaOp(16);
+            target = _attack.target == AttackTarget::FuncPtr
+                         ? region
+                         : [&] {
+                               const int off = _builder.constInt(8);
+                               return _builder.arith(ArithKind::Add,
+                                                     region, off);
+                           }();
+        }
+    } else if (_attack.origin == AttackOrigin::Heap) {
+        const int sz64 = _builder.constInt(64);
+        buf = _builder.mallocOp(sz64);
+        const int sz16 = _builder.constInt(16);
+        const int block = _builder.mallocOp(sz16); // contiguous
+        if (vtable_attack) {
+            obj = block;
+            target = obj;
+        } else if (_attack.target == AttackTarget::FuncPtr) {
+            target = block;
+        } else {
+            const int off = _builder.constInt(8);
+            target = _builder.arith(ArithKind::Add, block, off);
+        }
+    } else { // Bss / Data globals
+        buf = _builder.globalAddr(_g_buf);
+        const int region = _builder.globalAddr(_g_target);
+        if (vtable_attack) {
+            obj = region;
+            target = obj;
+        } else if (_attack.target == AttackTarget::FuncPtr) {
+            target = region;
+        } else {
+            const int off = _builder.constInt(8);
+            target = _builder.arith(ArithKind::Add, region, off);
+        }
+    }
+
+    // --- Legitimate initialization of the protected pointer ----------
+    if (vtable_attack) {
+        const int vt =
+            _builder.globalAddr(_module.classes[_class_a].vtable_global);
+        _builder.store(obj, vt, TypeRef::vtablePtr());
+    } else if (_attack.target != AttackTarget::RetPtr) {
+        const int benign = _builder.funcAddr(_benign_fn, kSigSite);
+        _builder.store(target, benign, TypeRef::funcPtr(kSigSite));
+    }
+    if (fp_between >= 0) {
+        const int benign = _builder.funcAddr(_benign_fn, kSigSite);
+        _builder.store(fp_between, benign, TypeRef::funcPtr(kSigSite));
+    }
+
+    // --- The attacker value (raw data from "input") -------------------
+    const int input_addr = _builder.globalAddr(_attacker_input);
+    int attack_value = _builder.load(input_addr, TypeRef::intTy());
+    if (_attack.target == AttackTarget::VtablePtr) {
+        // Fake vtable: point the object at the attacker's own data,
+        // whose first word is the payload address.
+        attack_value = input_addr;
+    } else if (_attack.target == AttackTarget::VtableReuse) {
+        attack_value =
+            _builder.globalAddr(_module.classes[_class_b].vtable_global);
+    }
+
+    // --- Corruption -----------------------------------------------------
+    switch (_attack.technique) {
+      case AttackTechnique::DirectOverflow:
+        emitSweep(buf, target, attack_value, i_slot);
+        break;
+      case AttackTechnique::IndirectRedirect: {
+        // The overflow only reaches a data pointer inside the buffer;
+        // the victim then writes through it (write-what-where).
+        const int sixteen = _builder.constInt(16);
+        const int ptr_slot = _builder.arith(ArithKind::Add, buf, sixteen);
+        _builder.store(ptr_slot, target, TypeRef::dataPtr());
+        const int where = _builder.load(ptr_slot, TypeRef::dataPtr());
+        _builder.store(where, attack_value, TypeRef::intTy());
+        break;
+      }
+      case AttackTechnique::DisclosureWrite: {
+        const int ret_slot = _builder.retAddrAddr();
+        _builder.store(ret_slot, attack_value, TypeRef::intTy());
+        break;
+      }
+      case AttackTechnique::DisclosureSweep: {
+        const int ret_slot = _builder.retAddrAddr();
+        emitSweep(buf, ret_slot, attack_value, i_slot);
+        break;
+      }
+    }
+
+    // --- Benign use of the (now corrupt) pointer ----------------------
+    if (fp_between >= 0) {
+        const int fp =
+            _builder.load(fp_between, TypeRef::funcPtr(kSigSite));
+        const int x = _builder.load(scratch, TypeRef::intTy());
+        _builder.callIndirect(fp, {x}, kSigSite);
+    }
+    if (vtable_attack) {
+        const int x = _builder.load(scratch, TypeRef::intTy());
+        _builder.vcall(obj, 0, {obj, x}, -1);
+    } else if (_attack.target != AttackTarget::RetPtr) {
+        const int fp = _builder.load(target, TypeRef::funcPtr(kSigSite));
+        const int x = _builder.load(scratch, TypeRef::intTy());
+        _builder.callIndirect(fp, {x}, kSigSite);
+    }
+    _builder.ret(_builder.constInt(0)); // retptr attacks fire here
+    _builder.endFunction();
+}
+
+ir::Module
+RipeBuilder::build()
+{
+    buildFunctions();
+    buildGlobals();
+    buildVictim();
+
+    const int victim = static_cast<int>(_module.functions.size()) - 1;
+    _builder.beginFunction("main");
+    const int x = _builder.constInt(7);
+    _builder.callDirect(victim, {x});
+    const int addr = _builder.globalAddr(_confirmed);
+    const int confirmed = _builder.load(addr, TypeRef::intTy());
+    _builder.ret(confirmed);
+    _builder.endFunction();
+    _module.entry_function = static_cast<int>(_module.functions.size()) - 1;
+    return std::move(_module);
+}
+
+} // namespace
+
+ir::Module
+buildRipeModule(const RipeAttack &attack)
+{
+    RipeBuilder builder(attack);
+    return builder.build();
+}
+
+RipeResult
+runRipeAttack(const RipeAttack &attack, CfiDesign design)
+{
+    RipeBuilder builder(attack);
+    ir::Module module = builder.build();
+
+    Status status = instrumentModule(module, design);
+    if (!status.isOk())
+        panic("ripe instrumentation failed: " + status.toString());
+
+    const DesignInfo &info = designInfo(design);
+
+    KernelModule::Config kconfig;
+    kconfig.epoch = std::chrono::milliseconds(200);
+    KernelModule kernel(kconfig);
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config vconfig;
+    vconfig.kill_on_violation = true; // effectiveness mode (§5.2)
+    Verifier verifier(kernel, policy, vconfig);
+
+    ShmChannel channel(1 << 12);
+    std::unique_ptr<HqRuntime> runtime;
+    if (info.hq_messages) {
+        verifier.attachChannel(&channel, 1);
+        runtime = std::make_unique<HqRuntime>(1, channel, kernel);
+        if (!runtime->enable().isOk())
+            panic("ripe runtime enable failed");
+        verifier.start();
+    }
+
+    VmConfig config = makeVmConfig(design);
+    config.stop_on_inline_violation = true;
+    config.max_instructions = 64ULL << 20;
+    config.layout.stack_size = 256 << 10; // short disclosure sweeps
+    Vm vm(module, config, runtime ? runtime.get() : nullptr);
+
+    const RunResult result = vm.run();
+    if (info.hq_messages)
+        verifier.stop();
+
+    RipeResult out;
+    out.exit = result.exit;
+    out.detail = result.detail;
+    // Success requires the payload's confirmation store to have landed.
+    std::uint64_t confirmed = 0;
+    vm.memory().read64(vm.globalAddr(builder.confirmedGlobal()),
+                       confirmed);
+    out.succeeded = confirmed == kConfirmMagic;
+    out.detected = result.inline_violations > 0 ||
+                   (info.hq_messages && verifier.hasViolation(1));
+    return out;
+}
+
+} // namespace hq

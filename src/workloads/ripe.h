@@ -1,0 +1,97 @@
+/**
+ * @file
+ * RIPE64-style exploit suite (paper §5.2, Table 5).
+ *
+ * Each attack is a small program containing a memory-safety bug that an
+ * "attacker" exercises to corrupt a control-flow pointer, then a benign
+ * use of that pointer. The attack succeeds only when control reaches
+ * the payload AND the payload's confirmation system call completes —
+ * mirroring RIPE, which verifies exploits with system calls in
+ * shellcode, and exercising HerQules' bounded asynchronous validation
+ * (a detected violation blocks the confirmation syscall even though
+ * checking is asynchronous).
+ *
+ * The matrix spans RIPE's axes:
+ *  - overflow origin: BSS / Data / Heap / Stack (Table 5 columns)
+ *  - target: function pointer, struct function pointer, longjmp buffer,
+ *    vtable pointer, return pointer
+ *  - technique: direct linear overwrite, indirect pointer redirect
+ *    (write-what-where), disclosure-assisted write or sweep to the
+ *    (safe-)stack return pointer
+ *  - payload: fresh shellcode-like function (type-incompatible) or an
+ *    existing libc-like function (type-compatible code reuse,
+ *    return-to-libc)
+ *
+ * Several variants of each coherent combination are generated (RIPE
+ * varies shellcode and target functions similarly).
+ */
+
+#ifndef HQ_WORKLOADS_RIPE_H
+#define HQ_WORKLOADS_RIPE_H
+
+#include <string>
+#include <vector>
+
+#include "cfi/design.h"
+#include "ir/module.h"
+
+namespace hq {
+
+enum class AttackOrigin { Bss, Data, Heap, Stack };
+enum class AttackTarget {
+    FuncPtr,       //!< plain function pointer variable
+    StructFuncPtr, //!< function pointer inside a struct
+    LongjmpBuf,    //!< the code pointer inside a jmp_buf
+    VtablePtr,     //!< C++ object vtable pointer (fake vtable)
+    VtableReuse,   //!< vtable pointer swapped to another real vtable
+    RetPtr,        //!< return pointer (regular or safe stack)
+};
+enum class AttackTechnique {
+    DirectOverflow,  //!< linear sweep from the origin buffer
+    IndirectRedirect,//!< corrupt a data pointer, then write-what-where
+    DisclosureWrite, //!< write to the disclosed return-pointer address
+    DisclosureSweep, //!< linear sweep up to the disclosed address
+};
+enum class AttackPayload {
+    Shellcode, //!< fresh attacker function (type-incompatible)
+    Libc,      //!< existing same-signature function (code reuse)
+};
+
+const char *attackOriginName(AttackOrigin origin);
+const char *attackTargetName(AttackTarget target);
+const char *attackTechniqueName(AttackTechnique technique);
+
+struct RipeAttack
+{
+    AttackOrigin origin;
+    AttackTarget target;
+    AttackTechnique technique;
+    AttackPayload payload;
+    int variant = 0;
+
+    std::string name() const;
+};
+
+/**
+ * The full attack matrix: every coherent (origin, target, technique,
+ * payload) combination, times `variants_per_group` variants.
+ */
+std::vector<RipeAttack> ripeAttackSuite(int variants_per_group = 18);
+
+/** Build the attack program. */
+ir::Module buildRipeModule(const RipeAttack &attack);
+
+struct RipeResult
+{
+    bool succeeded = false; //!< payload confirmed via completed syscall
+    bool detected = false;  //!< some design check flagged the attack
+    ExitKind exit = ExitKind::Ok;
+    std::string detail;
+};
+
+/** Execute one attack under one design (effectiveness mode: kill). */
+RipeResult runRipeAttack(const RipeAttack &attack, CfiDesign design);
+
+} // namespace hq
+
+#endif // HQ_WORKLOADS_RIPE_H

@@ -1,0 +1,557 @@
+#include "workloads/spec_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.h"
+
+namespace hq {
+
+using namespace ir;
+
+namespace {
+
+/// Signature classes used by generated programs.
+constexpr int kSigHandler = 0;
+constexpr int kSigA = 1; //!< definition class of the cast-trait pointer
+constexpr int kSigB = 2; //!< call class of the cast-trait pointer
+
+constexpr int kNumHandlers = 4; //!< power of two for cheap masking
+
+/** Period (power of two) realizing a rate: op fires every k-th iter. */
+std::uint64_t
+periodFor(double rate)
+{
+    if (rate <= 0.0)
+        return 0; // never
+    const double period = std::max(1.0, 1.0 / rate);
+    std::uint64_t pow2 = 1;
+    while (static_cast<double>(pow2) < period && pow2 < (1ULL << 30))
+        pow2 <<= 1;
+    return pow2;
+}
+
+/** Builds the benchmark module for one profile. */
+class SpecBuilder
+{
+  public:
+    SpecBuilder(const SpecProfile &profile, double scale)
+        : _profile(profile),
+          _iterations(std::max<std::uint64_t>(
+              64, static_cast<std::uint64_t>(
+                      static_cast<double>(profile.work_items) * scale))),
+          _builder(_module)
+    {
+        _module.name = profile.name;
+        _module.num_signature_classes = 3;
+    }
+
+    ir::Module build();
+
+  private:
+    void buildHandlers();
+    void buildHelpers();
+    void buildClass();
+    void buildGlobals();
+    void buildMain();
+
+    /**
+     * Open a guarded sub-block that runs every `period` iterations.
+     * Emits the condition in the current block; leaves the builder in
+     * the "do" block. Returns the continuation block to br to / resume.
+     */
+    int beginPeriodic(std::uint64_t period, int iter_reg);
+
+    /** XOR a value into the checksum slot. */
+    void foldChecksum(int value_reg);
+
+    /** True when the program contains any protected pointers. */
+    bool usesFuncPtrs() const;
+
+    const SpecProfile &_profile;
+    const std::uint64_t _iterations;
+    ir::Module _module;
+    IrBuilder _builder;
+
+    // Function ids.
+    int _handlers[kNumHandlers] = {-1, -1, -1, -1};
+    int _casted_handler = -1;
+    int _helper_top = -1;
+    int _class_id = -1;
+
+    // Global ids.
+    int _dispatch_table = -1;
+    int _casted_slot = -1;
+    int _decayed_slot = -1;
+    int _stale_ref = -1;
+
+    // main() registers.
+    int _chk_slot = -1;
+    int _const_zero = -1;
+    int _const_one = -1;
+};
+
+void
+SpecBuilder::buildHandlers()
+{
+    for (int k = 0; k < kNumHandlers; ++k) {
+        _handlers[k] = _builder.beginFunction(
+            "handler_" + std::to_string(k), 1, kSigHandler);
+        const int factor = _builder.constInt(2 * k + 3);
+        const int scaled =
+            _builder.arith(ArithKind::Mul, _builder.param(0), factor);
+        const int bias = _builder.constInt(k + 1);
+        const int out = _builder.arith(ArithKind::Add, scaled, bias);
+        _builder.ret(out);
+        _builder.endFunction();
+    }
+
+    if (_profile.uses_casted_signature) {
+        // The povray pattern: defined as void*(void*) [class A], later
+        // called as void*(pov::Object_Struct*) [class B].
+        _casted_handler =
+            _builder.beginFunction("generic_handler", 1, kSigA);
+        const int c = _builder.constInt(17);
+        _builder.ret(_builder.arith(ArithKind::Add, _builder.param(0), c));
+        _builder.endFunction();
+    }
+}
+
+void
+SpecBuilder::buildHelpers()
+{
+    // Helper chain: helper_{depth-1} ... helper_0 (top). Each level does
+    // a slice of the iteration's arithmetic, writes memory (qualifying
+    // it for return-pointer instrumentation), and calls the next.
+    const int depth = std::max(1, _profile.call_depth);
+    const int per_level =
+        std::max(1, _profile.arith_per_iter / depth);
+
+    int next_id = -1;
+    for (int level = depth - 1; level >= 0; --level) {
+        const int id = _builder.beginFunction(
+            _profile.name + "_helper_" + std::to_string(level), 1, -1);
+        const int scratch = _builder.allocaOp(16);
+        _builder.store(scratch, _builder.param(0), TypeRef::intTy());
+
+        int acc = _builder.load(scratch, TypeRef::intTy());
+        for (int op = 0; op < per_level; ++op) {
+            const int c = _builder.constInt(0x9e37 + op * 13);
+            acc = _builder.arith(
+                op % 3 == 0 ? ArithKind::Add
+                            : (op % 3 == 1 ? ArithKind::Xor
+                                           : ArithKind::Mul),
+                acc, c);
+        }
+
+        if (level == depth - 1) {
+            if (_profile.heavy_recursion) {
+                // Bounded self-recursion on the low bits of the arg
+                // (gcc/sjeng-style call-stack pressure).
+                const int seven = _builder.constInt(7);
+                const int low =
+                    _builder.arith(ArithKind::And, _builder.param(0),
+                                   seven);
+                const int bb_rec = _builder.newBlock();
+                const int bb_done = _builder.newBlock();
+                _builder.condBr(low, bb_rec, bb_done);
+                _builder.setBlock(bb_rec);
+                const int one = _builder.constInt(1);
+                const int less =
+                    _builder.arith(ArithKind::Sub, low, one);
+                const int sub = _builder.callDirect(id, {less});
+                const int mixed =
+                    _builder.arith(ArithKind::Add, acc, sub);
+                _builder.ret(mixed);
+                _builder.setBlock(bb_done);
+                _builder.ret(acc);
+            } else {
+                _builder.ret(acc);
+            }
+        } else {
+            const int sub = _builder.callDirect(next_id, {acc});
+            _builder.ret(_builder.arith(ArithKind::Xor, acc, sub));
+        }
+        _builder.endFunction();
+        next_id = id;
+    }
+    _helper_top = next_id;
+}
+
+void
+SpecBuilder::buildClass()
+{
+    if (!_profile.cpp)
+        return;
+    // Three virtual methods; each returns a function of its argument.
+    std::vector<int> methods;
+    for (int m = 0; m < 3; ++m) {
+        const int id = _builder.beginFunction(
+            "Node_method_" + std::to_string(m), 2, -1);
+        const int c = _builder.constInt(31 + m);
+        // param(0) = this, param(1) = x.
+        _builder.ret(_builder.arith(ArithKind::Mul, _builder.param(1), c));
+        _builder.endFunction();
+        methods.push_back(id);
+    }
+    _class_id = _builder.addClass("Node", methods);
+}
+
+bool
+SpecBuilder::usesFuncPtrs() const
+{
+    return _profile.indirect_call_rate > 0 ||
+           _profile.funcptr_store_rate > 0 ||
+           _profile.uses_casted_signature ||
+           _profile.uses_decayed_funcptr || _profile.static_init_uaf ||
+           _profile.block_op_allowlist;
+}
+
+void
+SpecBuilder::buildGlobals()
+{
+    if (!usesFuncPtrs())
+        return; // pure-numeric kernels: no control-flow pointers at all
+    Global table;
+    table.name = "dispatch_table";
+    table.size = kNumHandlers * 8;
+    table.section = Section::Data;
+    table.funcptr_class = kSigHandler;
+    for (int k = 0; k < kNumHandlers; ++k)
+        table.funcptr_init.emplace_back(k * 8, _handlers[k]);
+    _dispatch_table = _builder.addGlobal(std::move(table));
+
+    if (_profile.uses_casted_signature) {
+        Global slot;
+        slot.name = "generic_slot";
+        slot.size = 8;
+        slot.funcptr_class = kSigA;
+        slot.funcptr_init.emplace_back(0, _casted_handler);
+        _casted_slot = _builder.addGlobal(std::move(slot));
+    }
+    if (_profile.uses_decayed_funcptr) {
+        Global slot;
+        slot.name = "decayed_slot";
+        slot.size = 8;
+        _decayed_slot = _builder.addGlobal(std::move(slot));
+    }
+    if (_profile.static_init_uaf) {
+        Global slot;
+        slot.name = "stale_ref";
+        slot.size = 8;
+        _stale_ref = _builder.addGlobal(std::move(slot));
+    }
+}
+
+int
+SpecBuilder::beginPeriodic(std::uint64_t period, int iter_reg)
+{
+    const int mask = _builder.constInt(period - 1);
+    const int low = _builder.arith(ArithKind::And, iter_reg, mask);
+    const int hit = _builder.arith(ArithKind::Eq, low, _const_zero);
+    const int bb_do = _builder.newBlock();
+    const int bb_next = _builder.newBlock();
+    _builder.condBr(hit, bb_do, bb_next);
+    _builder.setBlock(bb_do);
+    return bb_next;
+}
+
+void
+SpecBuilder::foldChecksum(int value_reg)
+{
+    const int old = _builder.load(_chk_slot, TypeRef::intTy());
+    const int mixed = _builder.arith(ArithKind::Xor, old, value_reg);
+    _builder.store(_chk_slot, mixed, TypeRef::intTy());
+}
+
+void
+SpecBuilder::buildMain()
+{
+    _builder.beginFunction("main");
+    if (_profile.block_op_allowlist) {
+        _builder.currentFunction().attrs.block_op_allowlisted = true;
+    }
+
+    // --- Constants and locals ---------------------------------------
+    _const_zero = _builder.constInt(0);
+    _const_one = _builder.constInt(1);
+    const int n = _builder.constInt(_iterations);
+    _chk_slot = _builder.allocaOp(8);
+    const int i_slot = _builder.allocaOp(8);
+    const int buf1 = _builder.allocaOp(64);
+    const int buf2 = _builder.allocaOp(64);
+    // All allocas live in the entry block: the VM sizes frames from the
+    // static alloca footprint, so loops must not re-execute allocas.
+    const int choice_slot = _builder.allocaOp(8);
+    _builder.store(_chk_slot, _builder.constInt(0x1234), TypeRef::intTy());
+    _builder.store(i_slot, _const_zero, TypeRef::intTy());
+    const int table_addr =
+        usesFuncPtrs() ? _builder.globalAddr(_dispatch_table) : -1;
+    const int hot_slot = _builder.allocaOp(8);
+    const int dead_slot = _builder.allocaOp(8);
+    (void)choice_slot;
+
+    // --- C++ object construction -------------------------------------
+    int obj = -1;
+    if (_profile.cpp) {
+        const int sz = _builder.constInt(32);
+        obj = _builder.mallocOp(sz);
+        const int vt =
+            _builder.globalAddr(_module.classes[_class_id].vtable_global);
+        _builder.store(obj, vt, TypeRef::vtablePtr());
+    }
+
+    // --- Trait setup ---------------------------------------------------
+    if (_profile.uses_decayed_funcptr) {
+        // Store a function pointer through a type-opaque (int) access:
+        // HQ's taint analysis still protects it; type-driven designs
+        // miss it (§5.1).
+        const int fp = _builder.funcAddr(_handlers[0], kSigHandler);
+        const int decayed = _builder.cast(fp, TypeRef::intTy());
+        const int slot = _builder.globalAddr(_decayed_slot);
+        _builder.store(slot, decayed, TypeRef::intTy());
+    }
+    if (_profile.block_op_allowlist) {
+        // A decayed function pointer placed in a plain byte buffer that
+        // the main loop memcpy's around: strict subtype checking cannot
+        // see it, hence the allowlist (§4.1.4).
+        const int fp = _builder.funcAddr(_handlers[1], kSigHandler);
+        const int decayed = _builder.cast(fp, TypeRef::intTy());
+        const int off = _builder.constInt(8);
+        const int at = _builder.arith(ArithKind::Add, buf1, off);
+        _builder.store(at, decayed, TypeRef::intTy());
+    }
+    if (_profile.static_init_uaf) {
+        // The omnetpp static-initialization-order bug (§5.2): an object
+        // holding a control-flow pointer is destroyed during startup,
+        // but a reference survives and is used later.
+        const int sz = _builder.constInt(24);
+        const int block = _builder.mallocOp(sz);
+        const int fp = _builder.funcAddr(_handlers[1], kSigHandler);
+        _builder.store(block, fp, TypeRef::funcPtr(kSigHandler));
+        _builder.freeOp(block);
+        const int ref = _builder.globalAddr(_stale_ref);
+        _builder.store(ref, block, TypeRef::dataPtr());
+    }
+
+    // --- Loop skeleton -------------------------------------------------
+    const int bb_head = _builder.newBlock();
+    const int bb_body = _builder.newBlock();
+    const int bb_exit = _builder.newBlock();
+    _builder.br(bb_head);
+
+    _builder.setBlock(bb_head);
+    const int iv_head = _builder.load(i_slot, TypeRef::intTy());
+    const int more = _builder.arith(ArithKind::Lt, iv_head, n);
+    _builder.condBr(more, bb_body, bb_exit);
+
+    _builder.setBlock(bb_body);
+    const int iv = _builder.load(i_slot, TypeRef::intTy());
+
+    // Fixed per-iteration work: the helper-chain computation.
+    const int helper_out = _builder.callDirect(_helper_top, {iv});
+    foldChecksum(helper_out);
+
+    // Indirect call through the dispatch table.
+    if (const auto period = periodFor(_profile.indirect_call_rate)) {
+        const int next = beginPeriodic(period, iv);
+        const int hmask = _builder.constInt(kNumHandlers - 1);
+        const int idx = _builder.arith(ArithKind::And, iv, hmask);
+        const int eight = _builder.constInt(8);
+        const int byte_off = _builder.arith(ArithKind::Mul, idx, eight);
+        const int slot_addr =
+            _builder.arith(ArithKind::Add, table_addr, byte_off);
+        const int fp =
+            _builder.load(slot_addr, TypeRef::funcPtr(kSigHandler));
+        const int out = _builder.callIndirect(fp, {iv}, kSigHandler);
+        foldChecksum(out);
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Virtual call (half devirtualizable, half through the vtable).
+    if (_profile.cpp) {
+        if (const auto period = periodFor(_profile.vcall_rate)) {
+            const int next = beginPeriodic(period, iv);
+            const int v1 = _builder.vcall(obj, 0, {obj, iv}, _class_id);
+            foldChecksum(v1);
+            const int v2 = _builder.vcall(obj, 1, {obj, iv}, -1);
+            foldChecksum(v2);
+            _builder.br(next);
+            _builder.setBlock(next);
+        }
+    }
+
+    // Function-pointer store: rotate dispatch-table entries.
+    if (const auto period = periodFor(_profile.funcptr_store_rate)) {
+        const int next = beginPeriodic(period, iv);
+        const int hmask = _builder.constInt(kNumHandlers - 1);
+        const int idx = _builder.arith(ArithKind::And, iv, hmask);
+        const int eight = _builder.constInt(8);
+        const int byte_off = _builder.arith(ArithKind::Mul, idx, eight);
+        const int slot_addr =
+            _builder.arith(ArithKind::Add, table_addr, byte_off);
+        const int three = _builder.constInt(3);
+        const int pick = _builder.arith(ArithKind::And, iv, three);
+        // Select handler (iv & 3) via a small chain of direct funcAddrs
+        // (rotation keeps the table contents valid).
+        const int fp0 = _builder.funcAddr(_handlers[0], kSigHandler);
+        const int fp1 = _builder.funcAddr(_handlers[1], kSigHandler);
+        const int is_even =
+            _builder.arith(ArithKind::Eq, pick, _const_zero);
+        const int bb_even = _builder.newBlock();
+        const int bb_odd = _builder.newBlock();
+        const int bb_store = _builder.newBlock();
+        _builder.condBr(is_even, bb_even, bb_odd);
+        _builder.setBlock(bb_even);
+        _builder.store(choice_slot, fp0, TypeRef::funcPtr(kSigHandler));
+        _builder.br(bb_store);
+        _builder.setBlock(bb_odd);
+        _builder.store(choice_slot, fp1, TypeRef::funcPtr(kSigHandler));
+        _builder.br(bb_store);
+        _builder.setBlock(bb_store);
+        const int chosen =
+            _builder.load(choice_slot, TypeRef::funcPtr(kSigHandler));
+        _builder.store(slot_addr, chosen, TypeRef::funcPtr(kSigHandler));
+        // Hot local handler: define immediately dominates the checked
+        // load with no clobber between them — store-to-load forwarding
+        // elides this check (§4.1.4).
+        _builder.store(hot_slot, chosen, TypeRef::funcPtr(kSigHandler));
+        const int hot =
+            _builder.load(hot_slot, TypeRef::funcPtr(kSigHandler));
+        const int hot_out = _builder.callIndirect(hot, {iv}, kSigHandler);
+        foldChecksum(hot_out);
+        // Dead store of a control-flow pointer (an inlined-destructor
+        // artifact): never checked and never escaping, so message
+        // elision removes its define entirely.
+        _builder.store(dead_slot, chosen, TypeRef::funcPtr(kSigHandler));
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Block memory operation.
+    if (const auto period = periodFor(_profile.block_op_rate)) {
+        const int next = beginPeriodic(period, iv);
+        const int size = _builder.constInt(64);
+        _builder.memcpyOp(buf2, buf1, size, TypeRef::intTy());
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Allowlist trait: use the function pointer carried by the memcpy.
+    if (_profile.block_op_allowlist) {
+        const auto block_period =
+            std::max<std::uint64_t>(1, periodFor(_profile.block_op_rate));
+        const int next = beginPeriodic(block_period * 4, iv);
+        const int off = _builder.constInt(8);
+        const int at = _builder.arith(ArithKind::Add, buf2, off);
+        const int fp = _builder.load(at, TypeRef::funcPtr(kSigHandler));
+        const int out = _builder.callIndirect(fp, {iv}, kSigHandler);
+        foldChecksum(out);
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Heap allocation churn.
+    if (const auto period = periodFor(_profile.alloc_rate)) {
+        const int next = beginPeriodic(period, iv);
+        const int size = _builder.constInt(48);
+        const int p = _builder.mallocOp(size);
+        _builder.store(p, iv, TypeRef::intTy());
+        const int back = _builder.load(p, TypeRef::intTy());
+        foldChecksum(back);
+        _builder.freeOp(p);
+        if (_profile.cpp) {
+            // Long-lived heap objects carrying control-flow pointers
+            // (xalancbmk-style DOM nodes): the verifier's shadow store
+            // grows with them (§5.4's multi-million-entry maximum).
+            const int osize = _builder.constInt(16);
+            const int node = _builder.mallocOp(osize);
+            const int fp = _builder.funcAddr(_handlers[2], kSigHandler);
+            _builder.store(node, fp, TypeRef::funcPtr(kSigHandler));
+        }
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // System call.
+    if (const auto period = periodFor(_profile.syscall_rate)) {
+        const int next = beginPeriodic(period, iv);
+        _builder.syscall(1); // write(2)-like
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Cast-signature trait (every 64 iterations).
+    if (_profile.uses_casted_signature) {
+        const int next = beginPeriodic(64, iv);
+        const int slot = _builder.globalAddr(_casted_slot);
+        // The pointer was defined (and MAC'd/registered) with class A,
+        // but this use site loads and calls it as class B — the povray
+        // decay pattern that type-keyed designs flag.
+        const int fp = _builder.load(slot, TypeRef::funcPtr(kSigB));
+        const int out = _builder.callIndirect(fp, {iv}, kSigB);
+        foldChecksum(out);
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Decayed-pointer trait (every 128 iterations).
+    if (_profile.uses_decayed_funcptr) {
+        const int next = beginPeriodic(128, iv);
+        const int slot = _builder.globalAddr(_decayed_slot);
+        const int fp = _builder.load(slot, TypeRef::funcPtr(kSigHandler));
+        const int out = _builder.callIndirect(fp, {iv}, kSigHandler);
+        foldChecksum(out);
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Static-initialization-order UAF (every 4096 iterations).
+    if (_profile.static_init_uaf) {
+        const int next = beginPeriodic(4096, iv);
+        const int ref = _builder.globalAddr(_stale_ref);
+        const int stale = _builder.load(ref, TypeRef::dataPtr());
+        const int fp =
+            _builder.load(stale, TypeRef::funcPtr(kSigHandler));
+        const int out = _builder.callIndirect(fp, {iv}, kSigHandler);
+        foldChecksum(out);
+        _builder.br(next);
+        _builder.setBlock(next);
+    }
+
+    // Loop increment and back edge.
+    const int incremented =
+        _builder.arith(ArithKind::Add, iv, _const_one);
+    _builder.store(i_slot, incremented, TypeRef::intTy());
+    _builder.br(bb_head);
+
+    _builder.setBlock(bb_exit);
+    const int chk = _builder.load(_chk_slot, TypeRef::intTy());
+    _builder.ret(chk);
+    _builder.endFunction();
+    _module.entry_function =
+        static_cast<int>(_module.functions.size()) - 1;
+}
+
+ir::Module
+SpecBuilder::build()
+{
+    buildHandlers();
+    buildHelpers();
+    buildClass();
+    buildGlobals();
+    buildMain();
+    return std::move(_module);
+}
+
+} // namespace
+
+ir::Module
+buildSpecModule(const SpecProfile &profile, double scale)
+{
+    SpecBuilder builder(profile, scale);
+    return builder.build();
+}
+
+} // namespace hq

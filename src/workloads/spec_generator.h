@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Synthetic benchmark generator: builds a deterministic mini-IR program
+ * from a SpecProfile. The program is a main loop whose per-iteration
+ * behavior realizes the profile's rates with modular scheduling
+ * (an operation with rate r runs every round(1/r) iterations), computes
+ * a checksum in memory, and returns it — output correctness is checked
+ * by comparing checksums against the Baseline build (§5.1).
+ */
+
+#ifndef HQ_WORKLOADS_SPEC_GENERATOR_H
+#define HQ_WORKLOADS_SPEC_GENERATOR_H
+
+#include "ir/module.h"
+#include "workloads/spec_profiles.h"
+
+namespace hq {
+
+/**
+ * Build the benchmark program for a profile.
+ *
+ * @param profile  behavior description
+ * @param scale    multiplier on profile.work_items (harnesses use small
+ *                 scales for tests, larger for performance runs)
+ */
+ir::Module buildSpecModule(const SpecProfile &profile, double scale = 1.0);
+
+} // namespace hq
+
+#endif // HQ_WORKLOADS_SPEC_GENERATOR_H

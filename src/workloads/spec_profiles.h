@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Profiles of the 48 benchmarks used in the paper's evaluation (SPEC
+ * CPU2006, SPEC CPU2017, and NGINX; §5).
+ *
+ * The real benchmarks are not redistributable, so each is replaced by a
+ * deterministic synthetic program whose *character* — indirect-call
+ * rate, function-pointer store rate, block-memory traffic, allocation
+ * behavior, recursion, C++-ness, syscall rate — mimics the named
+ * benchmark, plus trait flags that reproduce the behaviors the paper
+ * reports per benchmark:
+ *
+ *  - uses_casted_signature: povray-style `void*(void*)` pointers called
+ *    through a different static type. Benign; trips type-matching CFI
+ *    (Clang/LLVM CFI and CCFI false positives; §5.1). Mechanical.
+ *  - uses_decayed_funcptr: function pointers stored through type-opaque
+ *    accesses. Benign; CCFI misses the MAC (false positive) and CPI
+ *    misses the safe-store redirect (NULL crash; §5.1). Mechanical.
+ *  - static_init_uaf: the omnetpp static-initialization-order
+ *    use-after-free the paper discovered (§5.2). A *genuine* bug that
+ *    only HQ-CFI detects. Mechanical.
+ *  - ccfi_abi_break / ccfi_x87_sensitive: CCFI reserves eleven XMM
+ *    registers, breaking the platform calling convention (crashes) and
+ *    forcing x87 usage (wrong numerical output). These are compiler-ABI
+ *    artifacts outside a portable VM's reach, so they are *modeled* as
+ *    per-profile outcome overrides (documented substitution).
+ *  - old_llvm_baseline_bug: two benchmarks fail even on the LLVM
+ *    3.3/3.4 baselines CCFI/CPI build against (§5.1). Modeled.
+ */
+
+#ifndef HQ_WORKLOADS_SPEC_PROFILES_H
+#define HQ_WORKLOADS_SPEC_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hq {
+
+struct SpecProfile
+{
+    std::string name;
+    bool cpp = false; //!< rendered with a '+' suffix, as in the paper
+
+    /** Main-loop iterations at scale 1.0 (harnesses scale this). */
+    std::uint64_t work_items = 20000;
+
+    // Per-iteration behavior rates.
+    double indirect_call_rate = 0.1; //!< calls through function pointers
+    double vcall_rate = 0.0;         //!< C++ virtual calls
+    double funcptr_store_rate = 0.02; //!< control-flow pointer writes
+    double block_op_rate = 0.01;     //!< memcpy/memmove of structs
+    double alloc_rate = 0.02;        //!< malloc/free pairs
+    double syscall_rate = 0.001;     //!< direct/indirect system calls
+    int arith_per_iter = 40;         //!< plain computation per iteration
+    int call_depth = 2;              //!< helper-call nesting
+    int num_handlers = 4;            //!< distinct indirect-call targets
+
+    // Trait flags (see file comment).
+    bool uses_casted_signature = false;
+    bool uses_decayed_funcptr = false;
+    bool static_init_uaf = false;
+    bool ccfi_abi_break = false;
+    bool ccfi_x87_sensitive = false;
+    bool old_llvm_baseline_bug = false;
+    bool block_op_allowlist = false;
+    bool heavy_recursion = false;
+};
+
+/** The 48 benchmark profiles (47 SPEC-like + nginx). */
+const std::vector<SpecProfile> &specProfiles();
+
+/** Profile by name; panics when absent. */
+const SpecProfile &specProfile(const std::string &name);
+
+} // namespace hq
+
+#endif // HQ_WORKLOADS_SPEC_PROFILES_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * VM robustness sweep: randomly generated (well-formed but hostile)
+ * programs — wild addresses, random arithmetic on pointers, random
+ * calls — must always terminate with a classified ExitKind, never
+ * corrupt the host. Parameterized over seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfi/design.h"
+#include "common/rng.h"
+#include "ipc/shm_channel.h"
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "policy/pointer_integrity.h"
+#include "runtime/vm.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+using namespace ir;
+
+/** A random but verifier-clean module exercising hostile patterns. */
+Module
+randomHostileModule(int seed)
+{
+    Rng rng(seed);
+    Module module;
+    IrBuilder builder(module);
+
+    // A few leaf functions to call (some address-taken).
+    const int num_leaves = 3;
+    for (int f = 0; f < num_leaves; ++f) {
+        builder.beginFunction("leaf" + std::to_string(f), 1, 0);
+        builder.ret(builder.arith(ArithKind::Xor, builder.param(0),
+                                  builder.constInt(f * 17)));
+        builder.endFunction();
+    }
+
+    Global g;
+    g.name = "blob";
+    g.size = 128;
+    g.funcptr_init = {{0, 0}};
+    const int blob = builder.addGlobal(std::move(g));
+
+    builder.beginFunction("main");
+    std::vector<int> values; // registers usable as operands
+    values.push_back(builder.constInt(rng.next()));
+    values.push_back(builder.allocaOp(64));
+    values.push_back(builder.globalAddr(blob));
+
+    const int ops = 60;
+    for (int i = 0; i < ops; ++i) {
+        const int a =
+            values[rng.nextBelow(values.size())];
+        const int b =
+            values[rng.nextBelow(values.size())];
+        switch (rng.nextBelow(10)) {
+          case 0:
+          case 1:
+          case 2:
+            values.push_back(builder.arith(
+                static_cast<ArithKind>(rng.nextBelow(9)), a, b));
+            break;
+          case 3:
+            values.push_back(builder.load(a, TypeRef::intTy()));
+            break;
+          case 4:
+            builder.store(a, b, TypeRef::intTy());
+            break;
+          case 5:
+            values.push_back(builder.mallocOp(
+                builder.constInt(8 + 8 * rng.nextBelow(16))));
+            break;
+          case 6:
+            values.push_back(builder.callDirect(
+                static_cast<int>(rng.nextBelow(num_leaves)), {a}));
+            break;
+          case 7: {
+            const int casted = builder.cast(a, TypeRef::funcPtr(0));
+            values.push_back(builder.callIndirect(casted, {b}, 0));
+            break;
+          }
+          case 8:
+            values.push_back(builder.load(a, TypeRef::funcPtr(0)));
+            break;
+          case 9: {
+            const int size = builder.constInt(8 * rng.nextInRange(1, 4));
+            builder.memcpyOp(a, b, size, TypeRef::intTy());
+            break;
+          }
+        }
+    }
+    builder.ret(values.back() >= 0 ? values.back()
+                                   : builder.constInt(0));
+    builder.endFunction();
+    module.entry_function = num_leaves;
+    return module;
+}
+
+class VmFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(VmFuzz, AlwaysTerminatesClassified)
+{
+    Module module = randomHostileModule(GetParam());
+    ASSERT_TRUE(verifyModule(module).isOk());
+
+    // Run bare and under full HQ instrumentation with a live verifier.
+    for (const bool instrumented : {false, true}) {
+        Module copy = module;
+        if (instrumented) {
+            ASSERT_TRUE(
+                instrumentModule(copy, CfiDesign::HqSfeStk).isOk());
+        }
+        KernelModule kernel;
+        auto policy = std::make_shared<PointerIntegrityPolicy>();
+        Verifier::Config vconfig;
+        vconfig.kill_on_violation = false;
+        Verifier verifier(kernel, policy, vconfig);
+        ShmChannel channel(1 << 12);
+        std::unique_ptr<HqRuntime> runtime;
+        if (instrumented) {
+            verifier.attachChannel(&channel, 1);
+            runtime = std::make_unique<HqRuntime>(1, channel, kernel);
+            ASSERT_TRUE(runtime->enable().isOk());
+            verifier.start();
+        }
+
+        VmConfig config = instrumented
+                              ? makeVmConfig(CfiDesign::HqSfeStk)
+                              : VmConfig{};
+        config.stop_on_inline_violation = false;
+        config.max_instructions = 1 << 20;
+        Vm vm(copy, config, runtime ? runtime.get() : nullptr);
+        const RunResult result = vm.run();
+        if (instrumented)
+            verifier.stop();
+
+        // Any classified exit is acceptable; what must never happen is
+        // an unclassified state or a host-level fault.
+        switch (result.exit) {
+          case ExitKind::Ok:
+          case ExitKind::Crash:
+          case ExitKind::Hang:
+          case ExitKind::Killed:
+          case ExitKind::InlineViolation:
+          case ExitKind::GuardFailure:
+            break;
+        }
+        EXPECT_LE(result.instructions, (1u << 20) + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz, ::testing::Range(1000, 1060));
+
+} // namespace
+} // namespace hq

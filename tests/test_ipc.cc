@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for src/ipc: message format, SPSC ring, every channel kind,
+ * and the integrity property that distinguishes AppendWrite from raw
+ * shared memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ipc/channel.h"
+#include "ipc/message.h"
+#include "ipc/posix_channels.h"
+#include "ipc/shm_channel.h"
+#include "ipc/spsc_ring.h"
+
+namespace hq {
+namespace {
+
+TEST(Message, WireFormatIs32Bytes)
+{
+    EXPECT_EQ(sizeof(Message), 32u);
+}
+
+TEST(Message, ConstructorFillsFields)
+{
+    Message m(Opcode::PointerDefine, 0x1000, 0x2000);
+    EXPECT_EQ(m.op, Opcode::PointerDefine);
+    EXPECT_EQ(m.arg0, 0x1000u);
+    EXPECT_EQ(m.arg1, 0x2000u);
+    EXPECT_EQ(m.pid, 0u);
+    EXPECT_EQ(m.seq, 0u);
+}
+
+TEST(Message, AllOpcodesHaveNames)
+{
+    for (std::uint32_t op = 0;
+         op < static_cast<std::uint32_t>(Opcode::NumOpcodes); ++op) {
+        EXPECT_STRNE(opcodeName(static_cast<Opcode>(op)), "UNKNOWN")
+            << "opcode " << op;
+    }
+}
+
+TEST(Message, ToStringContainsOpcodeName)
+{
+    Message m(Opcode::PointerCheck, 0xdead, 0xbeef);
+    const std::string s = m.toString();
+    EXPECT_NE(s.find("POINTER-CHECK"), std::string::npos);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPow2)
+{
+    SpscRing ring(1000);
+    EXPECT_EQ(ring.capacity(), 1024u);
+    SpscRing tiny(0);
+    EXPECT_EQ(tiny.capacity(), 1u);
+}
+
+TEST(SpscRing, PushPopFifoOrder)
+{
+    SpscRing ring(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(ring.tryPush(Message(Opcode::EventCount, i)));
+    EXPECT_EQ(ring.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        Message out;
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out.arg0, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushFailsWhenFull)
+{
+    SpscRing ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(Message(Opcode::EventCount, i)));
+    EXPECT_FALSE(ring.tryPush(Message(Opcode::EventCount, 99)));
+    Message out;
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_TRUE(ring.tryPush(Message(Opcode::EventCount, 99)));
+}
+
+TEST(SpscRing, PopFailsWhenEmpty)
+{
+    SpscRing ring(4);
+    Message out;
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(SpscRing, WrapAroundPreservesOrder)
+{
+    SpscRing ring(4);
+    Message out;
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, round)));
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out.arg0, round);
+    }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer)
+{
+    SpscRing ring(256);
+    constexpr std::uint64_t kCount = 200000;
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            while (!ring.tryPush(Message(Opcode::EventCount, i)))
+                std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t expected = 0;
+    Message out;
+    while (expected < kCount) {
+        if (ring.tryPop(out)) {
+            ASSERT_EQ(out.arg0, expected);
+            ++expected;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, OverwritePendingModelsShmCorruption)
+{
+    SpscRing ring(8);
+    ring.tryPush(Message(Opcode::PointerDefine, 1, 2));
+    ring.tryPush(Message(Opcode::PointerCheck, 1, 2));
+    EXPECT_TRUE(ring.overwritePending(0, Message(Opcode::PointerDefine,
+                                                 1, 0xbad)));
+    Message out;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out.arg1, 0xbadu); // evidence erased
+    EXPECT_FALSE(ring.overwritePending(5, Message()));
+}
+
+// ---------------------------------------------------------------------
+// Channel conformance: every kind delivers messages in order.
+// ---------------------------------------------------------------------
+
+class ChannelConformance : public ::testing::TestWithParam<ChannelKind>
+{
+};
+
+TEST_P(ChannelConformance, RoundTripInOrder)
+{
+    if (GetParam() == ChannelKind::PosixMq && !MqChannel::supported())
+        GTEST_SKIP() << "POSIX message queues unavailable on this host";
+
+    auto channel = makeChannel(GetParam(), 1 << 10);
+    ASSERT_NE(channel, nullptr);
+
+    constexpr std::uint64_t kCount = 500;
+    std::thread sender([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            ASSERT_TRUE(
+                channel->send(Message(Opcode::EventCount, i, i * 2))
+                    .isOk());
+        }
+    });
+
+    std::uint64_t received = 0;
+    Message out;
+    while (received < kCount) {
+        if (channel->tryRecv(out)) {
+            EXPECT_EQ(out.op, Opcode::EventCount);
+            EXPECT_EQ(out.arg0, received);
+            EXPECT_EQ(out.arg1, received * 2);
+            ++received;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    sender.join();
+    EXPECT_EQ(channel->pending(), 0u);
+}
+
+TEST_P(ChannelConformance, TraitsAreDeclared)
+{
+    if (GetParam() == ChannelKind::PosixMq && !MqChannel::supported())
+        GTEST_SKIP() << "POSIX message queues unavailable on this host";
+
+    auto channel = makeChannel(GetParam(), 64);
+    EXPECT_FALSE(channel->traits().name.empty());
+    EXPECT_FALSE(channel->traits().primaryCost.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ChannelConformance,
+    ::testing::Values(ChannelKind::PosixMq, ChannelKind::Pipe,
+                      ChannelKind::Socket, ChannelKind::SharedMemory,
+                      ChannelKind::Fpga, ChannelKind::UarchModel,
+                      ChannelKind::CrossProcess),
+    [](const ::testing::TestParamInfo<ChannelKind> &info) {
+        switch (info.param) {
+          case ChannelKind::PosixMq: return "PosixMq";
+          case ChannelKind::Pipe: return "Pipe";
+          case ChannelKind::Socket: return "Socket";
+          case ChannelKind::SharedMemory: return "SharedMemory";
+          case ChannelKind::Fpga: return "Fpga";
+          case ChannelKind::UarchModel: return "UarchModel";
+          case ChannelKind::CrossProcess: return "CrossProcess";
+        }
+        return "Unknown";
+    });
+
+// ---------------------------------------------------------------------
+// Table 2 trait properties: append-only vs. async validation.
+// ---------------------------------------------------------------------
+
+TEST(ChannelTraits, SharedMemoryIsNotAppendOnly)
+{
+    auto shm = makeChannel(ChannelKind::SharedMemory, 64);
+    EXPECT_FALSE(shm->traits().appendOnly);
+    EXPECT_TRUE(shm->traits().asyncValidation);
+}
+
+TEST(ChannelTraits, AppendWriteVariantsAreAppendOnlyAndAsync)
+{
+    for (auto kind : {ChannelKind::Fpga, ChannelKind::UarchModel}) {
+        auto channel = makeChannel(kind, 64);
+        EXPECT_TRUE(channel->traits().appendOnly)
+            << channel->traits().name;
+        EXPECT_TRUE(channel->traits().asyncValidation)
+            << channel->traits().name;
+        EXPECT_EQ(channel->traits().primaryCost, "Mem. Write");
+    }
+}
+
+TEST(ChannelTraits, SyscallChannelsAreSynchronous)
+{
+    for (auto kind :
+         {ChannelKind::Pipe, ChannelKind::Socket, ChannelKind::PosixMq}) {
+        auto channel = makeChannel(kind, 8);
+        EXPECT_FALSE(channel->traits().asyncValidation)
+            << channel->traits().name;
+        EXPECT_EQ(channel->traits().primaryCost, "System Call");
+    }
+}
+
+TEST(ShmChannel, CorruptionOfSentMessageIsPossible)
+{
+    // The weakness that motivates AppendWrite: a compromised program can
+    // erase evidence from a raw shared-memory transport before the
+    // verifier reads it.
+    ShmChannel shm(16);
+    ASSERT_TRUE(shm.send(Message(Opcode::PointerCheck, 0x10, 0xbad)).isOk());
+    EXPECT_TRUE(
+        shm.corruptOldestPending(Message(Opcode::PointerCheck, 0x10, 0x0)));
+    Message out;
+    ASSERT_TRUE(shm.tryRecv(out));
+    EXPECT_EQ(out.arg1, 0x0u); // the violation evidence is gone
+}
+
+TEST(ShmChannel, CorruptionFailsWhenNothingPending)
+{
+    ShmChannel shm(16);
+    EXPECT_FALSE(shm.corruptOldestPending(Message()));
+}
+
+} // namespace
+} // namespace hq

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests of bounded asynchronous validation end-to-end: kernel module
+ * syscall gating, the verifier event loop, fork/exit lifecycle, epoch
+ * timeouts, and the FPGA sequence-integrity path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "fpga/fpga_channel.h"
+#include "ipc/shm_channel.h"
+#include "kernel/kernel.h"
+#include "policy/pointer_integrity.h"
+#include "uarch/uarch_model_channel.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+KernelModule::Config
+shortEpoch()
+{
+    KernelModule::Config config;
+    config.epoch = std::chrono::milliseconds(50);
+    return config;
+}
+
+TEST(Kernel, SyscallPassThroughWhenNotEnabled)
+{
+    KernelModule kernel;
+    EXPECT_TRUE(kernel.syscallEnter(1, 0).isOk());
+}
+
+TEST(Kernel, EnableForkExitLifecycle)
+{
+    KernelModule kernel;
+    EXPECT_TRUE(kernel.enableProcess(1).isOk());
+    EXPECT_FALSE(kernel.enableProcess(1).isOk()); // duplicate
+    EXPECT_TRUE(kernel.forkProcess(1, 2).isOk());
+    EXPECT_FALSE(kernel.forkProcess(99, 100).isOk()); // unknown parent
+    EXPECT_FALSE(kernel.forkProcess(1, 2).isOk());    // child in use
+    EXPECT_TRUE(kernel.isEnabled(2));
+    kernel.exitProcess(2);
+    EXPECT_FALSE(kernel.isEnabled(2));
+}
+
+TEST(Kernel, SyscallResumesAfterVerifierAck)
+{
+    KernelModule kernel(shortEpoch());
+    ASSERT_TRUE(kernel.enableProcess(1).isOk());
+
+    // Pre-acked path (the pipelined fast path): resume before enter.
+    kernel.syscallResume(1);
+    EXPECT_TRUE(kernel.syscallEnter(1, 42).isOk());
+
+    // The sync variable is consumed: the next syscall must wait again.
+    std::thread acker([&kernel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        kernel.syscallResume(1);
+    });
+    EXPECT_TRUE(kernel.syscallEnter(1, 43).isOk());
+    acker.join();
+    EXPECT_EQ(kernel.statsFor(1).syscalls, 2u);
+    EXPECT_EQ(kernel.statsFor(1).waits, 1u);
+}
+
+TEST(Kernel, EpochTimeoutKillsProcess)
+{
+    KernelModule kernel(shortEpoch());
+    ASSERT_TRUE(kernel.enableProcess(1).isOk());
+    Status s = kernel.syscallEnter(1, 42);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::PolicyViolation);
+    EXPECT_TRUE(kernel.isKilled(1));
+    EXPECT_EQ(kernel.statsFor(1).epoch_timeouts, 1u);
+}
+
+TEST(Kernel, KilledProcessCannotSyscall)
+{
+    KernelModule kernel(shortEpoch());
+    ASSERT_TRUE(kernel.enableProcess(1).isOk());
+    kernel.killProcess(1, "policy violation");
+    Status s = kernel.syscallEnter(1, 1);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.message(), "policy violation");
+}
+
+TEST(Kernel, KillUnblocksWaitingSyscall)
+{
+    KernelModule kernel; // default long epoch
+    ASSERT_TRUE(kernel.enableProcess(1).isOk());
+    std::thread killer([&kernel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        kernel.killProcess(1, "violation detected");
+    });
+    Status s = kernel.syscallEnter(1, 7);
+    killer.join();
+    EXPECT_FALSE(s.isOk());
+}
+
+// ---------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------
+
+struct VerifierFixture
+{
+    KernelModule kernel{shortEpoch()};
+    std::shared_ptr<PointerIntegrityPolicy> policy =
+        std::make_shared<PointerIntegrityPolicy>();
+};
+
+TEST(Verifier, CreatesContextOnEnable)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    EXPECT_NE(verifier.contextFor(1), nullptr);
+}
+
+TEST(Verifier, ProcessesMessagesAndDetectsViolation)
+{
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    Verifier verifier(fx.kernel, fx.policy, config);
+
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, /*owner=*/1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    channel.send(Message(Opcode::PointerCheck, 0x100, 0xBB)); // corrupt
+    EXPECT_EQ(verifier.poll(), 2u);
+    EXPECT_TRUE(verifier.hasViolation(1));
+    EXPECT_EQ(verifier.statsFor(1).messages, 2u);
+    EXPECT_EQ(verifier.statsFor(1).violations, 1u);
+    EXPECT_FALSE(fx.kernel.isKilled(1)); // continue-after-violation mode
+}
+
+TEST(Verifier, KillsOnViolationByDefault)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerCheck, 0x100, 0xAA));
+    verifier.poll();
+    EXPECT_TRUE(fx.kernel.isKilled(1));
+}
+
+TEST(Verifier, SyscallMessageTriggersKernelResume)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    channel.send(Message(Opcode::Syscall, /*sysno=*/1));
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(1).syscall_acks, 1u);
+    // The kernel sync variable was set: syscallEnter returns immediately.
+    EXPECT_TRUE(fx.kernel.syscallEnter(1, 1).isOk());
+}
+
+TEST(Verifier, NoResumeAfterViolationWhenKilling)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerCheck, 0x666, 0x1)); // violation
+    channel.send(Message(Opcode::Syscall, 1)); // attacker-forged sync
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(1).syscall_acks, 0u);
+    EXPECT_FALSE(fx.kernel.syscallEnter(1, 1).isOk());
+}
+
+TEST(Verifier, ForkClonesPolicyContext)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel parent_channel(64);
+    ShmChannel child_channel(64);
+    verifier.attachChannel(&parent_channel, 1);
+    verifier.attachChannel(&child_channel, 2);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    parent_channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    verifier.poll();
+    ASSERT_TRUE(fx.kernel.forkProcess(1, 2).isOk());
+
+    // Child inherits the parent's shadow store.
+    Verifier::Config config;
+    child_channel.send(Message(Opcode::PointerCheck, 0x100, 0xAA));
+    verifier.poll();
+    EXPECT_FALSE(verifier.hasViolation(2));
+}
+
+TEST(Verifier, ExitKeepsContextButStopsProcessing)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    verifier.poll();
+    fx.kernel.exitProcess(1);
+    // The context is kept for post-mortem inspection, but stale
+    // messages after exit are ignored.
+    EXPECT_NE(verifier.contextFor(1), nullptr);
+    EXPECT_EQ(verifier.statsFor(1).messages, 1u);
+    channel.send(Message(Opcode::PointerCheck, 0x100, 0xAA));
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(1).messages, 1u);
+    EXPECT_FALSE(verifier.hasViolation(1));
+}
+
+TEST(Verifier, SequenceGapIsIntegrityViolation)
+{
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.check_sequence = true;
+    config.kill_on_violation = false;
+    Verifier verifier(fx.kernel, fx.policy, config);
+
+    FpgaConfig fpga_config;
+    fpga_config.host_buffer_messages = 4; // tiny: force drops
+    fpga_config.model_latency = false;
+    FpgaChannel channel(fpga_config);
+    channel.afu().setPidRegister(1);
+    verifier.attachChannel(&channel, 1, /*device_stamped=*/true);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    // Overrun the 4-slot host buffer without draining: drops occur.
+    for (int i = 0; i < 8; ++i)
+        channel.send(Message(Opcode::Heartbeat, i));
+    verifier.poll();
+    // Send one more; its seq exposes the gap left by the drops.
+    channel.send(Message(Opcode::Heartbeat, 99));
+    verifier.poll();
+    EXPECT_TRUE(verifier.hasViolation(1));
+}
+
+TEST(Verifier, DeviceStampedPidRouting)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    FpgaConfig fpga_config;
+    fpga_config.model_latency = false;
+    FpgaChannel channel(fpga_config);
+    verifier.attachChannel(&channel, /*owner=*/0, /*device_stamped=*/true);
+    ASSERT_TRUE(fx.kernel.enableProcess(7).isOk());
+
+    channel.afu().setPidRegister(7);
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(7).messages, 1u);
+}
+
+TEST(Verifier, BackgroundEventLoopHandshake)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    UarchModelChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    verifier.start();
+
+    // Monitored-program side: send work + sync, then enter a syscall.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::PointerDefine, 0x1000 + 8 * i, i))
+                .isOk());
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1)).isOk());
+    EXPECT_TRUE(fx.kernel.syscallEnter(1, 1).isOk());
+
+    verifier.stop();
+    EXPECT_EQ(verifier.statsFor(1).messages, 101u);
+    EXPECT_FALSE(verifier.hasViolation(1));
+}
+
+TEST(Verifier, KillOnVerifierExit)
+{
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.kill_on_verifier_exit = true;
+    Verifier verifier(fx.kernel, fx.policy, config);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    ASSERT_TRUE(fx.kernel.enableProcess(2).isOk());
+    fx.kernel.exitProcess(2); // already gone: must not be re-killed
+    verifier.start();
+    verifier.stop();
+    // Without a verifier nothing can validate messages: pid 1 dies.
+    EXPECT_TRUE(fx.kernel.isKilled(1));
+    EXPECT_FALSE(fx.kernel.syscallEnter(1, 1).isOk());
+}
+
+TEST(Verifier, NoKillOnExitByDefault)
+{
+    VerifierFixture fx;
+    {
+        Verifier verifier(fx.kernel, fx.policy);
+        ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+        verifier.start();
+        verifier.stop();
+    }
+    EXPECT_FALSE(fx.kernel.isKilled(1));
+}
+
+TEST(Verifier, MaxEntriesTracksPolicyMetadata)
+{
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    for (int i = 0; i < 50; ++i)
+        channel.send(Message(Opcode::PointerDefine, 0x1000 + 8 * i, i));
+    channel.send(Message(Opcode::PointerBlockInvalidate, 0x1000, 400));
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(1).max_entries, 50u);
+}
+
+} // namespace
+} // namespace hq

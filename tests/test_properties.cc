@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Property-based tests: randomized operation sequences checked against
+ * independent reference models, and structural invariants verified on
+ * randomly generated inputs. Parameterized over seeds/capacities with
+ * INSTANTIATE_TEST_SUITE_P.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "cfi/design.h"
+#include "common/rng.h"
+#include "ipc/spsc_ring.h"
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "ir/verify.h"
+#include "policy/memory_safety.h"
+#include "policy/pointer_integrity.h"
+#include "runtime/vm.h"
+#include "workloads/spec_generator.h"
+#include "workloads/spec_profiles.h"
+
+namespace hq {
+namespace {
+
+using namespace ir;
+
+// ---------------------------------------------------------------------
+// SPSC ring vs. deque reference model
+// ---------------------------------------------------------------------
+
+class RingModelProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(RingModelProperty, MatchesDequeReference)
+{
+    const auto [capacity, seed] = GetParam();
+    SpscRing ring(capacity);
+    std::deque<std::uint64_t> model;
+    Rng rng(seed);
+
+    for (int step = 0; step < 20000; ++step) {
+        if (rng.chance(0.55)) {
+            const std::uint64_t value = rng.next();
+            const bool pushed =
+                ring.tryPush(Message(Opcode::EventCount, value));
+            const bool model_fits = model.size() < ring.capacity();
+            ASSERT_EQ(pushed, model_fits) << "step " << step;
+            if (pushed)
+                model.push_back(value);
+        } else {
+            Message out;
+            const bool popped = ring.tryPop(out);
+            ASSERT_EQ(popped, !model.empty()) << "step " << step;
+            if (popped) {
+                ASSERT_EQ(out.arg0, model.front());
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(ring.size(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitySeedSweep, RingModelProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 8, 64, 1024),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Pointer-integrity policy vs. reference map model
+// ---------------------------------------------------------------------
+
+class PointerPolicyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PointerPolicyProperty, MatchesReferenceShadowMap)
+{
+    Rng rng(GetParam());
+    PointerIntegrityContext ctx(1);
+    std::map<Addr, std::uint64_t> model;
+
+    auto randAddr = [&] { return 0x1000 + 8 * rng.nextBelow(64); };
+
+    for (int step = 0; step < 30000; ++step) {
+        const std::uint64_t dice = rng.nextBelow(100);
+        if (dice < 35) { // define
+            const Addr p = randAddr();
+            const std::uint64_t v = rng.nextBelow(16);
+            ASSERT_TRUE(ctx.handleMessage(
+                Message(Opcode::PointerDefine, p, v)));
+            model[p] = v;
+        } else if (dice < 70) { // check
+            const Addr p = randAddr();
+            const std::uint64_t v = rng.nextBelow(16);
+            const bool expect_ok =
+                model.count(p) > 0 && model[p] == v;
+            const Status status =
+                ctx.handleMessage(Message(Opcode::PointerCheck, p, v));
+            ASSERT_EQ(status.isOk(), expect_ok) << "step " << step;
+        } else if (dice < 80) { // invalidate
+            const Addr p = randAddr();
+            ctx.handleMessage(Message(Opcode::PointerInvalidate, p));
+            model.erase(p);
+        } else if (dice < 90) { // block invalidate
+            const Addr base = randAddr();
+            const std::uint64_t size = 8 * rng.nextInRange(1, 8);
+            ctx.handleMessage(
+                Message(Opcode::PointerBlockInvalidate, base, size));
+            for (auto it = model.lower_bound(base);
+                 it != model.end() && it->first < base + size;)
+                it = model.erase(it);
+        } else { // block copy
+            const Addr src = randAddr();
+            const Addr dst = randAddr();
+            const std::uint64_t size = 8 * rng.nextInRange(1, 8);
+            ctx.handleMessage(Message(Opcode::BlockSize, size));
+            ctx.handleMessage(
+                Message(Opcode::PointerBlockCopy, src, dst));
+            std::map<Addr, std::uint64_t> moved;
+            for (auto it = model.lower_bound(src);
+                 it != model.end() && it->first < src + size; ++it)
+                moved[dst + (it->first - src)] = it->second;
+            for (auto it = model.lower_bound(dst);
+                 it != model.end() && it->first < dst + size;)
+                it = model.erase(it);
+            for (const auto &[a, v] : moved)
+                model[a] = v;
+        }
+        ASSERT_EQ(ctx.entryCount(), model.size()) << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PointerPolicyProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------
+// Memory-safety policy vs. reference interval model
+// ---------------------------------------------------------------------
+
+class MemoryPolicyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MemoryPolicyProperty, MatchesReferenceIntervalMap)
+{
+    Rng rng(GetParam());
+    MemorySafetyContext ctx(1);
+    std::map<Addr, std::uint64_t> model; // base -> size
+
+    auto overlaps = [&](Addr base, std::uint64_t size) {
+        for (const auto &[b, s] : model)
+            if (base < b + s && b < base + size)
+                return true;
+        return false;
+    };
+    auto containing = [&](Addr a) -> std::optional<Addr> {
+        for (const auto &[b, s] : model)
+            if (a >= b && a < b + s)
+                return b;
+        return std::nullopt;
+    };
+
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t dice = rng.nextBelow(100);
+        if (dice < 35) { // create
+            const Addr base = 0x1000 + 16 * rng.nextBelow(128);
+            const std::uint64_t size = 16 * rng.nextInRange(1, 4);
+            const bool expect_ok = !overlaps(base, size);
+            const Status status = ctx.handleMessage(
+                Message(Opcode::AllocCreate, base, size));
+            ASSERT_EQ(status.isOk(), expect_ok) << "step " << step;
+            if (expect_ok)
+                model[base] = size;
+        } else if (dice < 70) { // check
+            const Addr a = 0x1000 + rng.nextBelow(16 * 140);
+            const Status status =
+                ctx.handleMessage(Message(Opcode::AllocCheck, a));
+            ASSERT_EQ(status.isOk(), containing(a).has_value())
+                << "step " << step;
+        } else if (dice < 85) { // destroy
+            const Addr base = 0x1000 + 16 * rng.nextBelow(128);
+            const bool expect_ok = model.count(base) > 0;
+            const Status status =
+                ctx.handleMessage(Message(Opcode::AllocDestroy, base));
+            ASSERT_EQ(status.isOk(), expect_ok) << "step " << step;
+            model.erase(base);
+        } else { // check-base
+            const Addr a1 = 0x1000 + rng.nextBelow(16 * 140);
+            const Addr a2 = 0x1000 + rng.nextBelow(16 * 140);
+            const auto c1 = containing(a1);
+            const auto c2 = containing(a2);
+            const bool expect_ok = c1 && c2 && *c1 == *c2;
+            const Status status = ctx.handleMessage(
+                Message(Opcode::AllocCheckBase, a1, a2));
+            ASSERT_EQ(status.isOk(), expect_ok) << "step " << step;
+        }
+        ASSERT_EQ(ctx.entryCount(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, MemoryPolicyProperty,
+                         ::testing::Values(7, 17, 27));
+
+// ---------------------------------------------------------------------
+// Dominator-tree invariants on random CFGs
+// ---------------------------------------------------------------------
+
+/** Build a random function CFG with `blocks` blocks. */
+Module
+randomCfg(int seed, int num_blocks)
+{
+    Rng rng(seed);
+    Module module;
+    IrBuilder builder(module);
+    builder.beginFunction("f", 1);
+    for (int b = 1; b < num_blocks; ++b)
+        builder.newBlock();
+    for (int b = 0; b < num_blocks; ++b) {
+        builder.setBlock(b);
+        const std::uint64_t kind = rng.nextBelow(10);
+        if (kind < 2 || b == num_blocks - 1) {
+            builder.ret();
+        } else if (kind < 6) {
+            builder.br(
+                static_cast<int>(rng.nextInRange(0, num_blocks - 1)));
+        } else {
+            builder.condBr(
+                builder.param(0),
+                static_cast<int>(rng.nextInRange(0, num_blocks - 1)),
+                static_cast<int>(rng.nextInRange(0, num_blocks - 1)));
+        }
+    }
+    builder.endFunction();
+    module.entry_function = 0;
+    return module;
+}
+
+/** Reference dominance: a dominates b iff removing a unreaches b. */
+bool
+refDominates(const Cfg &cfg, int a, int b)
+{
+    if (a == b)
+        return true;
+    std::set<int> visited{a}; // treat a as a wall
+    std::vector<int> work{0};
+    if (a == 0)
+        return cfg.reachable(b); // entry dominates everything reachable
+    visited.insert(0);
+    while (!work.empty()) {
+        const int node = work.back();
+        work.pop_back();
+        if (node == b)
+            return false;
+        for (int succ : cfg.successors(node)) {
+            if (!visited.count(succ)) {
+                visited.insert(succ);
+                work.push_back(succ);
+            }
+        }
+    }
+    return cfg.reachable(b);
+}
+
+class DominatorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DominatorProperty, MatchesReachabilityDefinition)
+{
+    const int num_blocks = 8;
+    Module module = randomCfg(GetParam(), num_blocks);
+    ASSERT_TRUE(verifyModule(module).isOk());
+    const Cfg cfg(module.functions[0]);
+    const DominatorTree dom(cfg);
+
+    for (int a = 0; a < num_blocks; ++a) {
+        for (int b = 0; b < num_blocks; ++b) {
+            if (!cfg.reachable(a) || !cfg.reachable(b))
+                continue;
+            EXPECT_EQ(dom.dominates(a, b), refDominates(cfg, a, b))
+                << "seed " << GetParam() << " a=" << a << " b=" << b;
+        }
+    }
+
+    // idom is a dominator of its node and distinct from it.
+    for (int b = 1; b < num_blocks; ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const int idom = dom.idom(b);
+        ASSERT_GE(idom, 0);
+        EXPECT_NE(idom, b);
+        EXPECT_TRUE(dom.dominates(idom, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCfgs, DominatorProperty,
+                         ::testing::Range(100, 140));
+
+// ---------------------------------------------------------------------
+// VM determinism and design-independence of output
+// ---------------------------------------------------------------------
+
+class ChecksumProperty
+    : public ::testing::TestWithParam<std::tuple<const char *, CfiDesign>>
+{
+};
+
+TEST_P(ChecksumProperty, InstrumentationPreservesOutput)
+{
+    const auto [name, design] = GetParam();
+    const SpecProfile &profile = specProfile(name);
+
+    ir::Module baseline = buildSpecModule(profile, 0.02);
+    VmConfig base_config;
+    Vm base_vm(baseline, base_config, nullptr);
+    const RunResult base = base_vm.run();
+    ASSERT_EQ(base.exit, ExitKind::Ok);
+
+    ir::Module instrumented = buildSpecModule(profile, 0.02);
+    ASSERT_TRUE(instrumentModule(instrumented, design).isOk());
+    VmConfig config = makeVmConfig(design);
+    config.hq_messages = false; // run without a channel: pure semantics
+    config.stop_on_inline_violation = false;
+    Vm vm(instrumented, config, nullptr);
+    const RunResult result = vm.run();
+    ASSERT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    EXPECT_EQ(result.return_value, base.return_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndDesigns, ChecksumProperty,
+    ::testing::Combine(
+        ::testing::Values("bzip2", "mcf", "astar", "leela_r", "hmmer"),
+        ::testing::Values(CfiDesign::Baseline, CfiDesign::HqSfeStk,
+                          CfiDesign::HqRetPtr, CfiDesign::ClangCfi,
+                          CfiDesign::Ccfi, CfiDesign::Cpi)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               designInfo(std::get<1>(info.param)).name.substr(0, 2) +
+               std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+} // namespace
+} // namespace hq

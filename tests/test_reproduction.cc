@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduction lock-in tests: tiny-scale versions of the paper's
+ * headline results, asserted exactly. If a refactor changes any of
+ * these, the bench tables have drifted from the paper's shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/log.h"
+#include "workloads/ripe.h"
+#include "workloads/runner.h"
+
+namespace hq {
+namespace {
+
+struct Table4Row
+{
+    int errors = 0;
+    int fps = 0;
+    int invalid = 0;
+    int ok = 0;
+};
+
+Table4Row
+sweep(WorkloadRunner &runner, CfiDesign design)
+{
+    Table4Row row;
+    for (const SpecProfile &profile : specProfiles()) {
+        const BenchmarkOutcome outcome = runner.run(profile, design);
+        row.errors += outcome.error;
+        row.fps += outcome.false_positive;
+        row.invalid += outcome.invalid;
+        row.ok += outcome.ok;
+    }
+    return row;
+}
+
+TEST(Reproduction, Table4HeadlineCounts)
+{
+    setLogLevel(LogLevel::Off);
+    RunnerOptions options;
+    options.scale = 0.01;
+    WorkloadRunner runner(options);
+
+    const Table4Row baseline = sweep(runner, CfiDesign::Baseline);
+    EXPECT_EQ(baseline.errors, 0);
+    EXPECT_EQ(baseline.ok, 48);
+
+    const Table4Row clang = sweep(runner, CfiDesign::ClangCfi);
+    EXPECT_EQ(clang.errors, 0);
+    EXPECT_EQ(clang.fps, 15);  // paper: 15
+    EXPECT_EQ(clang.ok, 33);   // paper: 33
+
+    const Table4Row cpi = sweep(runner, CfiDesign::Cpi);
+    EXPECT_EQ(cpi.errors, 14); // paper: 14
+    EXPECT_EQ(cpi.fps, 0);     // paper: 0
+    EXPECT_EQ(cpi.invalid, 14);
+
+    const Table4Row ccfi = sweep(runner, CfiDesign::Ccfi);
+    EXPECT_EQ(ccfi.errors, 12); // paper: 12
+    EXPECT_EQ(ccfi.invalid, 9); // paper: 9
+    EXPECT_GE(ccfi.fps, 20);    // paper: 29 (mechanical subset here)
+
+    const Table4Row hq = sweep(runner, CfiDesign::HqSfeStk);
+    EXPECT_EQ(hq.errors, 0);
+    EXPECT_EQ(hq.fps, 0);
+    EXPECT_EQ(hq.ok, 48); // paper: all 48 run correctly
+}
+
+TEST(Reproduction, Table5HeadlineCounts)
+{
+    setLogLevel(LogLevel::Off);
+    const auto suite = ripeAttackSuite(/*variants_per_group=*/1);
+    std::map<CfiDesign, int> successes;
+    std::map<CfiDesign, int> stack_successes;
+    for (CfiDesign design :
+         {CfiDesign::Baseline, CfiDesign::ClangCfi, CfiDesign::Ccfi,
+          CfiDesign::Cpi, CfiDesign::HqSfeStk, CfiDesign::HqRetPtr}) {
+        for (const RipeAttack &attack : suite) {
+            const RipeResult result = runRipeAttack(attack, design);
+            if (result.succeeded) {
+                ++successes[design];
+                if (attack.origin == AttackOrigin::Stack)
+                    ++stack_successes[design];
+            }
+        }
+    }
+
+    // Everything works on the baseline.
+    EXPECT_EQ(successes[CfiDesign::Baseline],
+              static_cast<int>(suite.size()));
+    // Complete protection: CCFI and HQ-CFI-RetPtr.
+    EXPECT_EQ(successes[CfiDesign::Ccfi], 0);
+    EXPECT_EQ(successes[CfiDesign::HqRetPtr], 0);
+    // Type-matching CFI loses to code reuse (worst protected design).
+    EXPECT_GT(successes[CfiDesign::ClangCfi],
+              successes[CfiDesign::Cpi]);
+    // Safe-stack designs lose only to return-pointer disclosure.
+    EXPECT_GT(successes[CfiDesign::Cpi], 0);
+    EXPECT_GT(successes[CfiDesign::HqSfeStk], 0);
+    EXPECT_LE(successes[CfiDesign::HqSfeStk],
+              successes[CfiDesign::Cpi]);
+    // The paper's distinctive cell: HQ-CFI-SfeStk's Stack column is 0.
+    EXPECT_EQ(stack_successes[CfiDesign::HqSfeStk], 0);
+    EXPECT_GT(stack_successes[CfiDesign::Cpi], 0);
+}
+
+TEST(Reproduction, OnlyHqDetectsTheOmnetppBug)
+{
+    setLogLevel(LogLevel::Off);
+    RunnerOptions options;
+    options.scale = 0.01;
+    WorkloadRunner runner(options);
+    const SpecProfile &omnetpp = specProfile("omnetpp");
+
+    EXPECT_TRUE(
+        runner.run(omnetpp, CfiDesign::HqSfeStk).genuine_violation);
+    EXPECT_FALSE(
+        runner.run(omnetpp, CfiDesign::ClangCfi).false_positive);
+    // CPI completes (its safe store still holds the stale pointer) and
+    // reports nothing: no UAF detection (Table 3).
+    const BenchmarkOutcome cpi = runner.run(omnetpp, CfiDesign::Cpi);
+    EXPECT_FALSE(cpi.genuine_violation);
+    EXPECT_FALSE(cpi.false_positive);
+}
+
+} // namespace
+} // namespace hq

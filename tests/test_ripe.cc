@@ -1,0 +1,208 @@
+/**
+ * @file
+ * RIPE attack-suite tests: matrix construction, attack mechanics under
+ * the Baseline (everything must actually exploit), and each design's
+ * characteristic blocking behavior (Table 5 shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.h"
+#include "workloads/ripe.h"
+
+namespace hq {
+namespace {
+
+RipeAttack
+attack(AttackOrigin origin, AttackTarget target, AttackTechnique technique,
+       AttackPayload payload = AttackPayload::Shellcode)
+{
+    return RipeAttack{origin, target, technique, payload, 0};
+}
+
+TEST(RipeSuite, MatrixShape)
+{
+    const auto suite = ripeAttackSuite(/*variants_per_group=*/1);
+    // 13 groups per origin (disclosure-write on non-stack origins is
+    // replaced by two disclosure-sweep groups on the stack).
+    EXPECT_EQ(suite.size(), 52u);
+
+    const auto scaled = ripeAttackSuite(18);
+    EXPECT_EQ(scaled.size(), 52u * 18u);
+}
+
+TEST(RipeSuite, AllModulesVerify)
+{
+    for (const auto &a : ripeAttackSuite(1)) {
+        ir::Module module = buildRipeModule(a);
+        const Status status = ir::verifyModule(module);
+        EXPECT_TRUE(status.isOk()) << a.name() << ": " << status.toString();
+    }
+}
+
+TEST(RipeSuite, NamesAreDescriptive)
+{
+    const RipeAttack a = attack(AttackOrigin::Heap, AttackTarget::FuncPtr,
+                                AttackTechnique::DirectOverflow,
+                                AttackPayload::Libc);
+    EXPECT_EQ(a.name(), "heap/funcptr/direct/libc#0");
+}
+
+// ---------------------------------------------------------------------
+// Baseline: the exploits genuinely work.
+// ---------------------------------------------------------------------
+
+TEST(RipeBaseline, EveryAttackSucceeds)
+{
+    for (const auto &a : ripeAttackSuite(1)) {
+        const RipeResult result = runRipeAttack(a, CfiDesign::Baseline);
+        EXPECT_TRUE(result.succeeded)
+            << a.name() << " exit=" << exitKindName(result.exit) << " "
+            << result.detail;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Design-characteristic behavior.
+// ---------------------------------------------------------------------
+
+TEST(RipeDesigns, HqRetPtrBlocksEverything)
+{
+    for (const auto &a : ripeAttackSuite(1)) {
+        const RipeResult result = runRipeAttack(a, CfiDesign::HqRetPtr);
+        EXPECT_FALSE(result.succeeded) << a.name();
+    }
+}
+
+TEST(RipeDesigns, CcfiBlocksEverything)
+{
+    for (const auto &a : ripeAttackSuite(1)) {
+        const RipeResult result = runRipeAttack(a, CfiDesign::Ccfi);
+        EXPECT_FALSE(result.succeeded) << a.name();
+    }
+}
+
+TEST(RipeDesigns, HqSfeStkBlocksForwardEdgeAttacks)
+{
+    for (AttackOrigin origin :
+         {AttackOrigin::Bss, AttackOrigin::Heap, AttackOrigin::Stack}) {
+        const RipeResult result = runRipeAttack(
+            attack(origin, AttackTarget::FuncPtr,
+                   AttackTechnique::DirectOverflow),
+            CfiDesign::HqSfeStk);
+        EXPECT_FALSE(result.succeeded) << attackOriginName(origin);
+        EXPECT_TRUE(result.detected) << attackOriginName(origin);
+    }
+}
+
+TEST(RipeDesigns, HqSfeStkVulnerableToDisclosureFromNonStack)
+{
+    // The safe stack is protected only by information hiding: with a
+    // disclosed address, the write lands and no message ever flags it.
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Bss, AttackTarget::RetPtr,
+               AttackTechnique::DisclosureWrite),
+        CfiDesign::HqSfeStk);
+    EXPECT_TRUE(result.succeeded);
+}
+
+TEST(RipeDesigns, HqSfeStkBlocksStackSweep)
+{
+    // Stack-origin sweeps corrupt an intervening protected pointer; the
+    // victim's next use of it raises a violation and the payload's
+    // confirmation syscall is refused.
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Stack, AttackTarget::RetPtr,
+               AttackTechnique::DisclosureSweep),
+        CfiDesign::HqSfeStk);
+    EXPECT_FALSE(result.succeeded);
+}
+
+TEST(RipeDesigns, ClangCfiBlocksShellcodeButNotCodeReuse)
+{
+    const RipeResult shell = runRipeAttack(
+        attack(AttackOrigin::Data, AttackTarget::FuncPtr,
+               AttackTechnique::DirectOverflow, AttackPayload::Shellcode),
+        CfiDesign::ClangCfi);
+    EXPECT_FALSE(shell.succeeded);
+
+    const RipeResult reuse = runRipeAttack(
+        attack(AttackOrigin::Data, AttackTarget::FuncPtr,
+               AttackTechnique::DirectOverflow, AttackPayload::Libc),
+        CfiDesign::ClangCfi);
+    EXPECT_TRUE(reuse.succeeded); // return-to-libc evades type matching
+}
+
+TEST(RipeDesigns, ClangCfiVulnerableToVtableReuse)
+{
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Heap, AttackTarget::VtableReuse,
+               AttackTechnique::DirectOverflow),
+        CfiDesign::ClangCfi);
+    EXPECT_TRUE(result.succeeded);
+}
+
+TEST(RipeDesigns, HqBlocksVtableReuse)
+{
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Heap, AttackTarget::VtableReuse,
+               AttackTechnique::DirectOverflow),
+        CfiDesign::HqSfeStk);
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_TRUE(result.detected);
+}
+
+TEST(RipeDesigns, ClangCfiGuardPagesStopStackSweeps)
+{
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Stack, AttackTarget::RetPtr,
+               AttackTechnique::DisclosureSweep, AttackPayload::Libc),
+        CfiDesign::ClangCfi);
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.exit, ExitKind::Crash); // faulted on the guard gap
+}
+
+TEST(RipeDesigns, CpiBlocksFuncPtrAttacks)
+{
+    // CPI relocated the pointer to the safe store: the raw-memory
+    // corruption has no effect on the loaded value.
+    const RipeResult result = runRipeAttack(
+        attack(AttackOrigin::Heap, AttackTarget::FuncPtr,
+               AttackTechnique::IndirectRedirect),
+        CfiDesign::Cpi);
+    EXPECT_FALSE(result.succeeded);
+}
+
+TEST(RipeDesigns, CpiVulnerableToRetPtrDisclosure)
+{
+    const RipeResult write = runRipeAttack(
+        attack(AttackOrigin::Data, AttackTarget::RetPtr,
+               AttackTechnique::DisclosureWrite),
+        CfiDesign::Cpi);
+    EXPECT_TRUE(write.succeeded);
+
+    // No guard pages: the stack-origin sweep reaches the safe stack.
+    const RipeResult sweep = runRipeAttack(
+        attack(AttackOrigin::Stack, AttackTarget::RetPtr,
+               AttackTechnique::DisclosureSweep),
+        CfiDesign::Cpi);
+    EXPECT_TRUE(sweep.succeeded);
+}
+
+TEST(RipeDesigns, LongjmpBufferAttackMechanicsMatchFuncPtr)
+{
+    const RipeResult baseline = runRipeAttack(
+        attack(AttackOrigin::Bss, AttackTarget::LongjmpBuf,
+               AttackTechnique::IndirectRedirect),
+        CfiDesign::Baseline);
+    EXPECT_TRUE(baseline.succeeded);
+
+    const RipeResult hq = runRipeAttack(
+        attack(AttackOrigin::Bss, AttackTarget::LongjmpBuf,
+               AttackTechnique::IndirectRedirect),
+        CfiDesign::HqSfeStk);
+    EXPECT_FALSE(hq.succeeded);
+}
+
+} // namespace
+} // namespace hq

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Non-local goto tests: setjmp/longjmp VM semantics, jmp_buf protection
+ * under HQ-CFI (the paper protects the internal pointer in jmp_buf as a
+ * forward-edge control-flow pointer, §4.1.3), and attack mechanics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfi/design.h"
+#include "ipc/shm_channel.h"
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "policy/pointer_integrity.h"
+#include "runtime/vm.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+using namespace ir;
+
+/**
+ * main: jb = alloca; if (setjmp(jb) == 0) { helper(jb); return 111; }
+ * else return setjmp-return-value. helper longjmps with 7.
+ */
+Module
+longjmpModule(bool corrupt_buf)
+{
+    Module module;
+    IrBuilder builder(module);
+    const int sig = builder.newSignatureClass();
+
+    builder.beginFunction("attack_payload", 0, sig);
+    builder.ret(builder.constInt(0x666));
+    builder.endFunction();
+
+    // Attacker-controlled raw input carrying the payload address (so
+    // the corrupting write is type-opaque data, as in a real exploit).
+    Global input;
+    input.name = "attacker_input";
+    input.size = 8;
+    input.word_init.emplace_back(0, Vm::encodeFuncPtr(0));
+    const int input_id = builder.addGlobal(std::move(input));
+
+    builder.beginFunction("helper", 1); // param: jmp_buf address
+    if (corrupt_buf) {
+        const int src = builder.globalAddr(input_id);
+        const int evil = builder.load(src, TypeRef::intTy());
+        builder.store(builder.param(0), evil, TypeRef::intTy());
+    }
+    const int seven = builder.constInt(7);
+    builder.longjmp(builder.param(0), seven);
+    builder.ret(); // unreachable
+    builder.endFunction();
+
+    builder.beginFunction("main");
+    const int jb = builder.allocaOp(8);
+    const int rc = builder.setjmp(jb);
+    const int bb_first = builder.newBlock();
+    const int bb_again = builder.newBlock();
+    const int is_zero = builder.arith(ArithKind::Eq, rc,
+                                      builder.constInt(0));
+    builder.condBr(is_zero, bb_first, bb_again);
+    builder.setBlock(bb_first);
+    builder.callDirect(1, {jb});
+    builder.ret(builder.constInt(111)); // skipped by the longjmp
+    builder.setBlock(bb_again);
+    builder.ret(rc);
+    builder.endFunction();
+    module.entry_function = 2;
+    return module;
+}
+
+TEST(Setjmp, LongjmpUnwindsAndReturnsValue)
+{
+    Module module = longjmpModule(false);
+    ASSERT_TRUE(verifyModule(module).isOk());
+    VmConfig config;
+    Vm vm(module, config, nullptr);
+    const RunResult result = vm.run();
+    EXPECT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    EXPECT_EQ(result.return_value, 7u);
+}
+
+TEST(Setjmp, ZeroLongjmpValueBecomesOne)
+{
+    Module module;
+    IrBuilder builder(module);
+    builder.beginFunction("main");
+    const int jb = builder.allocaOp(8);
+    const int rc = builder.setjmp(jb);
+    const int bb_first = builder.newBlock();
+    const int bb_again = builder.newBlock();
+    const int is_zero = builder.arith(ArithKind::Eq, rc,
+                                      builder.constInt(0));
+    builder.condBr(is_zero, bb_first, bb_again);
+    builder.setBlock(bb_first);
+    const int zero = builder.constInt(0);
+    builder.longjmp(jb, zero); // longjmp(buf, 0) must deliver 1
+    builder.ret();
+    builder.setBlock(bb_again);
+    builder.ret(rc);
+    builder.endFunction();
+    module.entry_function = 0;
+
+    VmConfig config;
+    Vm vm(module, config, nullptr);
+    const RunResult result = vm.run();
+    EXPECT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    EXPECT_EQ(result.return_value, 1u);
+}
+
+TEST(Setjmp, MarksFunctionReturnsTwice)
+{
+    Module module = longjmpModule(false);
+    EXPECT_TRUE(module.functions[2].attrs.returns_twice);
+    EXPECT_FALSE(module.functions[1].attrs.returns_twice);
+}
+
+TEST(Setjmp, LongjmpAfterFrameExitCrashes)
+{
+    // helper does setjmp into a caller-provided buffer and returns;
+    // main then longjmps into the dead frame.
+    Module module;
+    IrBuilder builder(module);
+    builder.beginFunction("helper", 1);
+    builder.setjmp(builder.param(0));
+    builder.ret();
+    builder.endFunction();
+    builder.beginFunction("main");
+    const int jb = builder.allocaOp(8);
+    builder.callDirect(0, {jb});
+    const int one = builder.constInt(1);
+    builder.longjmp(jb, one);
+    builder.ret();
+    builder.endFunction();
+    module.entry_function = 1;
+
+    VmConfig config;
+    Vm vm(module, config, nullptr);
+    const RunResult result = vm.run();
+    EXPECT_EQ(result.exit, ExitKind::Crash);
+    EXPECT_NE(result.detail.find("longjmp"), std::string::npos);
+}
+
+TEST(Setjmp, GarbageJmpBufCrashes)
+{
+    Module module;
+    IrBuilder builder(module);
+    builder.beginFunction("main");
+    const int jb = builder.allocaOp(8);
+    builder.store(jb, builder.constInt(0x1234), TypeRef::intTy());
+    const int one = builder.constInt(1);
+    builder.longjmp(jb, one);
+    builder.ret();
+    builder.endFunction();
+    module.entry_function = 0;
+
+    VmConfig config;
+    Vm vm(module, config, nullptr);
+    EXPECT_EQ(vm.run().exit, ExitKind::Crash);
+}
+
+TEST(Setjmp, CorruptedBufDivertsControlOnBaseline)
+{
+    Module module = longjmpModule(/*corrupt_buf=*/true);
+    VmConfig config;
+    config.attack_payload_function = 0;
+    Vm vm(module, config, nullptr);
+    const RunResult result = vm.run();
+    EXPECT_TRUE(result.attack_payload_reached);
+}
+
+TEST(Setjmp, HqDetectsCorruptedJmpBuf)
+{
+    Module module = longjmpModule(/*corrupt_buf=*/true);
+    ASSERT_TRUE(instrumentModule(module, CfiDesign::HqSfeStk).isOk());
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config vconfig;
+    vconfig.kill_on_violation = false;
+    Verifier verifier(kernel, policy, vconfig);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    HqRuntime runtime(1, channel, kernel);
+    ASSERT_TRUE(runtime.enable().isOk());
+    verifier.start();
+
+    VmConfig config = makeVmConfig(CfiDesign::HqSfeStk);
+    config.attack_payload_function = 0;
+    Vm vm(module, config, &runtime);
+    vm.run();
+    verifier.stop();
+    EXPECT_TRUE(verifier.hasViolation(1));
+}
+
+TEST(Setjmp, HqCleanOnBenignLongjmp)
+{
+    Module module = longjmpModule(false);
+    ASSERT_TRUE(instrumentModule(module, CfiDesign::HqSfeStk).isOk());
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    HqRuntime runtime(1, channel, kernel);
+    ASSERT_TRUE(runtime.enable().isOk());
+    verifier.start();
+
+    VmConfig config = makeVmConfig(CfiDesign::HqSfeStk);
+    Vm vm(module, config, &runtime);
+    const RunResult result = vm.run();
+    verifier.stop();
+    EXPECT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    EXPECT_EQ(result.return_value, 7u);
+    EXPECT_FALSE(verifier.hasViolation(1));
+}
+
+TEST(Setjmp, StackCursorRestoredAfterLongjmp)
+{
+    // Loop with setjmp/longjmp across a helper must not leak stack.
+    Module module;
+    IrBuilder builder(module);
+    builder.beginFunction("jumper", 1);
+    builder.allocaOp(256); // frame footprint discarded by the longjmp
+    const int one = builder.constInt(1);
+    builder.longjmp(builder.param(0), one);
+    builder.ret();
+    builder.endFunction();
+
+    builder.beginFunction("main");
+    const int jb = builder.allocaOp(8);
+    const int i_slot = builder.allocaOp(8);
+    builder.store(i_slot, builder.constInt(0), TypeRef::intTy());
+    const int bb_loop = builder.newBlock();
+    const int bb_done = builder.newBlock();
+    builder.br(bb_loop);
+    builder.setBlock(bb_loop);
+    builder.setjmp(jb);
+    const int i = builder.load(i_slot, TypeRef::intTy());
+    const int n = builder.constInt(50000);
+    const int more = builder.arith(ArithKind::Lt, i, n);
+    const int bb_body = builder.newBlock();
+    builder.condBr(more, bb_body, bb_done);
+    builder.setBlock(bb_body);
+    const int one2 = builder.constInt(1);
+    const int next = builder.arith(ArithKind::Add, i, one2);
+    builder.store(i_slot, next, TypeRef::intTy());
+    builder.callDirect(0, {jb}); // longjmps back to bb_loop's setjmp
+    builder.ret(); // unreachable
+    builder.setBlock(bb_done);
+    builder.ret(builder.load(i_slot, TypeRef::intTy()));
+    builder.endFunction();
+    module.entry_function = 1;
+
+    VmConfig config;
+    Vm vm(module, config, nullptr);
+    const RunResult result = vm.run();
+    // 50000 iterations of a 256-byte frame would overflow a 4 MB stack
+    // without cursor restoration.
+    EXPECT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    EXPECT_EQ(result.return_value, 50000u);
+}
+
+} // namespace
+} // namespace hq

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cycle-model tests: µop accounting, the hardware-vs-software
+ * AppendWrite cost difference (Figure 4's mechanism), and end-to-end
+ * cycle comparisons through the VM sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfi/design.h"
+#include "ipc/shm_channel.h"
+#include "ir/builder.h"
+#include "policy/pointer_integrity.h"
+#include "sim/core_model.h"
+#include "verifier/verifier.h"
+#include "workloads/spec_generator.h"
+#include "workloads/spec_profiles.h"
+
+namespace hq {
+namespace {
+
+using namespace ir;
+
+Instr
+instrOf(IrOp op)
+{
+    Instr instr;
+    instr.op = op;
+    return instr;
+}
+
+TEST(CoreModel, CountsInstructionsAndUops)
+{
+    CoreModel model;
+    model.onInstr(instrOf(IrOp::Arith));
+    model.onInstr(instrOf(IrOp::Store));
+    EXPECT_EQ(model.instructions(), 2u);
+    EXPECT_EQ(model.uops(), 3u); // 1 + 2
+}
+
+TEST(CoreModel, HardwareAppendWriteIsComposePlusOneUop)
+{
+    // 4 µops compose the 32-byte message; the AppendWrite instruction
+    // itself is a single µop (one fewer than a normal store, §3.1.2).
+    CoreConfig hw;
+    hw.hw_appendwrite = true;
+    CoreModel model(hw);
+    model.onInstr(instrOf(IrOp::HqDefine));
+    EXPECT_EQ(model.uops(), 5u);
+    EXPECT_EQ(model.appendwrites(), 1u);
+}
+
+TEST(CoreModel, SoftwareModelAppendWriteCostsMore)
+{
+    CoreModel sw; // default: software MODEL costing
+    sw.onInstr(instrOf(IrOp::HqDefine));
+    EXPECT_EQ(sw.uops(), 13u);
+
+    CoreConfig hw;
+    hw.hw_appendwrite = true;
+    CoreModel fast(hw);
+    fast.onInstr(instrOf(IrOp::HqDefine));
+    EXPECT_LT(fast.uops(), sw.uops());
+}
+
+TEST(CoreModel, CyclesGrowWithWork)
+{
+    CoreModel model;
+    const std::uint64_t before = model.cycles();
+    for (int i = 0; i < 1000; ++i)
+        model.onInstr(instrOf(IrOp::Load));
+    EXPECT_GT(model.cycles(), before + 200);
+}
+
+TEST(CoreModel, DeterministicCycles)
+{
+    std::uint64_t cycles[2];
+    for (int round = 0; round < 2; ++round) {
+        CoreModel model;
+        for (int i = 0; i < 10000; ++i) {
+            model.onInstr(instrOf(IrOp::Load));
+            model.onInstr(instrOf(IrOp::CondBr));
+        }
+        cycles[round] = model.cycles();
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+/** Simulated cycles of a benchmark under a design / AppendWrite cost. */
+std::uint64_t
+simulatedCycles(const SpecProfile &profile, CfiDesign design,
+                bool hw_appendwrite)
+{
+    ir::Module module = buildSpecModule(profile, 0.02);
+    if (design != CfiDesign::Baseline) {
+        EXPECT_TRUE(instrumentModule(module, design).isOk());
+    }
+
+    CoreConfig core;
+    core.hw_appendwrite = hw_appendwrite;
+    CoreModel model(core);
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy);
+    ShmChannel channel(1 << 14);
+    std::unique_ptr<HqRuntime> runtime;
+    HqRuntime *runtime_ptr = nullptr;
+    if (designInfo(design).hq_messages) {
+        verifier.attachChannel(&channel, 1);
+        runtime = std::make_unique<HqRuntime>(1, channel, kernel);
+        EXPECT_TRUE(runtime->enable().isOk());
+        runtime_ptr = runtime.get();
+        verifier.start();
+    }
+
+    VmConfig config = makeVmConfig(design);
+    config.cycle_sink = &model;
+    Vm vm(module, config, runtime_ptr);
+    const RunResult result = vm.run();
+    EXPECT_EQ(result.exit, ExitKind::Ok) << result.detail;
+    if (runtime_ptr)
+        verifier.stop();
+    return model.cycles();
+}
+
+TEST(SimEndToEnd, InstrumentationCostsCycles)
+{
+    const auto &profile = specProfile("h264ref");
+    const std::uint64_t baseline =
+        simulatedCycles(profile, CfiDesign::Baseline, false);
+    const std::uint64_t model_cycles =
+        simulatedCycles(profile, CfiDesign::HqSfeStk, false);
+    const std::uint64_t sim_cycles =
+        simulatedCycles(profile, CfiDesign::HqSfeStk, true);
+
+    // Figure 4's ordering: baseline < SIM (hardware AppendWrite) <
+    // MODEL (software AppendWrite emulation).
+    EXPECT_LT(baseline, sim_cycles);
+    EXPECT_LT(sim_cycles, model_cycles);
+}
+
+TEST(SimEndToEnd, ComputeBoundBenchmarkBarelyAffected)
+{
+    const auto &profile = specProfile("lbm");
+    const double baseline = static_cast<double>(
+        simulatedCycles(profile, CfiDesign::Baseline, false));
+    const double sim = static_cast<double>(
+        simulatedCycles(profile, CfiDesign::HqSfeStk, true));
+    EXPECT_GT(baseline / sim, 0.95); // < 5% simulated overhead
+}
+
+class CoreSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(CoreSweep, CyclesMonotoneInWidthAndMissRate)
+{
+    const auto [width, miss] = GetParam();
+    CoreConfig config;
+    config.issue_width = width;
+    config.l1_miss = miss;
+    CoreModel model(config);
+
+    CoreConfig wider = config;
+    wider.issue_width = width * 2;
+    CoreModel fast(wider);
+
+    CoreConfig missier = config;
+    missier.l1_miss = std::min(1.0, miss * 2 + 0.01);
+    CoreModel slow(missier);
+
+    for (int i = 0; i < 20000; ++i) {
+        const Instr load = instrOf(IrOp::Load);
+        const Instr op = instrOf(IrOp::Arith);
+        model.onInstr(load);
+        model.onInstr(op);
+        fast.onInstr(load);
+        fast.onInstr(op);
+        slow.onInstr(load);
+        slow.onInstr(op);
+    }
+    // Wider issue never costs more; higher miss rate never costs less.
+    EXPECT_LE(fast.cycles(), model.cycles());
+    EXPECT_GE(slow.cycles(), model.cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, CoreSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0.0, 0.02, 0.1)));
+
+} // namespace
+} // namespace hq

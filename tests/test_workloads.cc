@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests of the benchmark suite substrate: the 48 profiles, the program
+ * generator, the outcome classification (Table 4 taxonomy), and the
+ * relative-performance machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/verify.h"
+#include "runtime/vm.h"
+#include "workloads/runner.h"
+#include "workloads/spec_generator.h"
+#include "workloads/spec_profiles.h"
+
+namespace hq {
+namespace {
+
+TEST(Profiles, ExactlyFortyEightBenchmarks)
+{
+    EXPECT_EQ(specProfiles().size(), 48u);
+}
+
+TEST(Profiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &profile : specProfiles())
+        EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+}
+
+TEST(Profiles, TraitCountsMatchPaperShape)
+{
+    int casted = 0, decayed = 0, uaf = 0, abi = 0, x87 = 0, old_bug = 0,
+        allowlist = 0;
+    for (const auto &profile : specProfiles()) {
+        casted += profile.uses_casted_signature;
+        decayed += profile.uses_decayed_funcptr;
+        uaf += profile.static_init_uaf;
+        abi += profile.ccfi_abi_break;
+        x87 += profile.ccfi_x87_sensitive;
+        old_bug += profile.old_llvm_baseline_bug;
+        allowlist += profile.block_op_allowlist;
+    }
+    EXPECT_EQ(casted, 15);   // Clang/LLVM CFI false positives (Table 4)
+    EXPECT_EQ(decayed, 12);  // CPI mechanical errors
+    EXPECT_EQ(uaf, 2);       // the two omnetpp benchmarks (§5.2)
+    EXPECT_EQ(abi, 12);      // CCFI errors (Table 4)
+    EXPECT_EQ(x87, 9);       // CCFI invalid output
+    EXPECT_EQ(old_bug, 2);   // Baseline-CCFI/CPI errors
+    EXPECT_EQ(allowlist, 4); // strict-subtype-check failures (§4.1.4)
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(specProfile("povray").name, "povray");
+    EXPECT_TRUE(specProfile("povray").uses_casted_signature);
+    EXPECT_TRUE(specProfile("omnetpp").static_init_uaf);
+    EXPECT_TRUE(specProfile("nginx").syscall_rate > 0.01);
+}
+
+TEST(Generator, AllProfilesBuildVerifiableModules)
+{
+    for (const auto &profile : specProfiles()) {
+        ir::Module module = buildSpecModule(profile, 0.01);
+        const Status status = ir::verifyModule(module);
+        EXPECT_TRUE(status.isOk())
+            << profile.name << ": " << status.toString();
+        EXPECT_GT(module.instructionCount(), 20u) << profile.name;
+    }
+}
+
+TEST(Generator, DeterministicAcrossBuilds)
+{
+    const auto &profile = specProfile("perlbench");
+    ir::Module a = buildSpecModule(profile, 0.01);
+    ir::Module b = buildSpecModule(profile, 0.01);
+    EXPECT_EQ(a.instructionCount(), b.instructionCount());
+    EXPECT_EQ(a.functions.size(), b.functions.size());
+}
+
+TEST(Generator, BaselineRunsToCompletionOnAllProfiles)
+{
+    for (const auto &profile : specProfiles()) {
+        ir::Module module = buildSpecModule(profile, 0.01);
+        VmConfig config;
+        Vm vm(module, config, nullptr);
+        const RunResult result = vm.run();
+        EXPECT_EQ(result.exit, ExitKind::Ok)
+            << profile.name << ": " << result.detail;
+    }
+}
+
+TEST(Generator, ChecksumIsDeterministic)
+{
+    const auto &profile = specProfile("bzip2");
+    std::uint64_t checksums[2];
+    for (int round = 0; round < 2; ++round) {
+        ir::Module module = buildSpecModule(profile, 0.02);
+        VmConfig config;
+        Vm vm(module, config, nullptr);
+        checksums[round] = vm.run().return_value;
+    }
+    EXPECT_EQ(checksums[0], checksums[1]);
+}
+
+// ---------------------------------------------------------------------
+// Runner classification (Table 4 behaviors)
+// ---------------------------------------------------------------------
+
+RunnerOptions
+smallRun()
+{
+    RunnerOptions options;
+    options.scale = 0.02;
+    return options;
+}
+
+TEST(Runner, BaselineIsOkOnEverything)
+{
+    WorkloadRunner runner(smallRun());
+    for (const std::string name :
+         {"perlbench", "povray", "omnetpp", "lbm", "nginx"}) {
+        const BenchmarkOutcome outcome =
+            runner.run(specProfile(name), CfiDesign::Baseline);
+        EXPECT_TRUE(outcome.ok) << name;
+        EXPECT_FALSE(outcome.error) << name;
+    }
+}
+
+TEST(Runner, HqIsOkOnCastedAndDecayedProfiles)
+{
+    WorkloadRunner runner(smallRun());
+    for (const std::string name : {"povray", "perlbench", "xalancbmk"}) {
+        const BenchmarkOutcome outcome =
+            runner.run(specProfile(name), CfiDesign::HqSfeStk);
+        EXPECT_TRUE(outcome.ok)
+            << name << " exit=" << exitKindName(outcome.exit);
+        EXPECT_FALSE(outcome.false_positive) << name;
+    }
+}
+
+TEST(Runner, HqDetectsOmnetppUafAsGenuineViolation)
+{
+    WorkloadRunner runner(smallRun());
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("omnetpp"), CfiDesign::HqSfeStk);
+    EXPECT_TRUE(outcome.genuine_violation);
+    EXPECT_FALSE(outcome.false_positive);
+    // The program still completes with correct output (the bug is
+    // latent), so the benchmark counts as OK for HQ-CFI.
+    EXPECT_TRUE(outcome.ok);
+}
+
+TEST(Runner, ClangCfiFalsePositiveOnCastedSignature)
+{
+    WorkloadRunner runner(smallRun());
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("povray"), CfiDesign::ClangCfi);
+    EXPECT_TRUE(outcome.false_positive);
+    EXPECT_FALSE(outcome.ok);
+}
+
+TEST(Runner, ClangCfiOkOnPlainProfiles)
+{
+    WorkloadRunner runner(smallRun());
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("lbm"), CfiDesign::ClangCfi);
+    EXPECT_TRUE(outcome.ok);
+}
+
+TEST(Runner, CcfiFalsePositiveOnDecayedProfile)
+{
+    WorkloadRunner runner(smallRun());
+    RunnerOptions options = smallRun();
+    options.apply_modeled_outcomes = false; // mechanical only
+    WorkloadRunner mech(options);
+    const BenchmarkOutcome outcome =
+        mech.run(specProfile("x264_r"), CfiDesign::Ccfi);
+    EXPECT_TRUE(outcome.false_positive);
+}
+
+TEST(Runner, CpiCrashesOnDecayedProfile)
+{
+    RunnerOptions options = smallRun();
+    options.apply_modeled_outcomes = false;
+    WorkloadRunner runner(options);
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("x264_r"), CfiDesign::Cpi);
+    EXPECT_TRUE(outcome.error);
+    EXPECT_EQ(outcome.exit, ExitKind::Crash);
+}
+
+TEST(Runner, CpiOkOnCastedOnlyProfile)
+{
+    RunnerOptions options = smallRun();
+    options.apply_modeled_outcomes = false;
+    WorkloadRunner runner(options);
+    // gobmk uses signature casts but no decayed stores: CPI tolerates
+    // it (pointer values are unchanged).
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("gobmk"), CfiDesign::Cpi);
+    EXPECT_TRUE(outcome.ok) << exitKindName(outcome.exit);
+}
+
+TEST(Runner, ModeledOutcomesApplyToCcfi)
+{
+    WorkloadRunner runner(smallRun());
+    const BenchmarkOutcome abi =
+        runner.run(specProfile("omnetpp"), CfiDesign::Ccfi);
+    EXPECT_TRUE(abi.error); // modeled ABI break
+    const BenchmarkOutcome x87 =
+        runner.run(specProfile("milc"), CfiDesign::Ccfi);
+    EXPECT_TRUE(x87.invalid); // modeled x87 precision loss
+}
+
+TEST(Runner, MessagesFlowUnderHq)
+{
+    WorkloadRunner runner(smallRun());
+    const BenchmarkOutcome outcome =
+        runner.run(specProfile("h264ref"), CfiDesign::HqSfeStk);
+    EXPECT_GT(outcome.messages_sent, 100u);
+    EXPECT_EQ(outcome.messages_sent, outcome.verifier_messages);
+    EXPECT_GT(outcome.syscalls, 0u);
+}
+
+TEST(Runner, RelativePerformanceIsPositive)
+{
+    RunnerOptions options;
+    options.scale = 0.05;
+    WorkloadRunner runner(options);
+    const double rel = runner.relativePerformance(specProfile("mcf"),
+                                                  CfiDesign::HqSfeStk);
+    EXPECT_GT(rel, 0.05);
+    EXPECT_LT(rel, 3.0);
+}
+
+TEST(Runner, InstrumentedSlowerThanBaselineOnHotProfile)
+{
+    RunnerOptions options;
+    options.scale = 0.2;
+    WorkloadRunner runner(options);
+    // h264ref has the highest message rate: instrumentation must cost
+    // something measurable.
+    const double rel = runner.relativePerformance(
+        specProfile("h264ref"), CfiDesign::HqRetPtr);
+    EXPECT_LT(rel, 1.0);
+}
+
+} // namespace
+} // namespace hq
