@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optim.dir/ablation_optim.cc.o"
+  "CMakeFiles/ablation_optim.dir/ablation_optim.cc.o.d"
+  "ablation_optim"
+  "ablation_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ring.dir/ablation_ring.cc.o"
+  "CMakeFiles/ablation_ring.dir/ablation_ring.cc.o.d"
+  "ablation_ring"
+  "ablation_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

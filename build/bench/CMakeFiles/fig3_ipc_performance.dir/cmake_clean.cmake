@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ipc_performance.dir/fig3_ipc_performance.cc.o"
+  "CMakeFiles/fig3_ipc_performance.dir/fig3_ipc_performance.cc.o.d"
+  "fig3_ipc_performance"
+  "fig3_ipc_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ipc_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

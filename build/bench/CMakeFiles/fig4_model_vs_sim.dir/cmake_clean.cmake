@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_model_vs_sim.dir/fig4_model_vs_sim.cc.o"
+  "CMakeFiles/fig4_model_vs_sim.dir/fig4_model_vs_sim.cc.o.d"
+  "fig4_model_vs_sim"
+  "fig4_model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

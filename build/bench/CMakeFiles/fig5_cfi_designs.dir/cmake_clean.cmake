@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cfi_designs.dir/fig5_cfi_designs.cc.o"
+  "CMakeFiles/fig5_cfi_designs.dir/fig5_cfi_designs.cc.o.d"
+  "fig5_cfi_designs"
+  "fig5_cfi_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cfi_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_metrics.dir/sec54_metrics.cc.o"
+  "CMakeFiles/sec54_metrics.dir/sec54_metrics.cc.o.d"
+  "sec54_metrics"
+  "sec54_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ipc_primitives.dir/table2_ipc_primitives.cc.o"
+  "CMakeFiles/table2_ipc_primitives.dir/table2_ipc_primitives.cc.o.d"
+  "table2_ipc_primitives"
+  "table2_ipc_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ipc_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

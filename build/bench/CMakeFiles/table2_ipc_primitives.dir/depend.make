@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_ipc_primitives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_correctness.cc" "bench/CMakeFiles/table4_correctness.dir/table4_correctness.cc.o" "gcc" "bench/CMakeFiles/table4_correctness.dir/table4_correctness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfi/CMakeFiles/hq_cfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hq_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/hq_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hq_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/hq_channels.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hq_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/hq_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hq_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hq_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/hq_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ripe.dir/table5_ripe.cc.o"
+  "CMakeFiles/table5_ripe.dir/table5_ripe.cc.o.d"
+  "table5_ripe"
+  "table5_ripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_loc.dir/table6_loc.cc.o"
+  "CMakeFiles/table6_loc.dir/table6_loc.cc.o.d"
+  "table6_loc"
+  "table6_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfi_showdown.dir/cfi_showdown.cpp.o"
+  "CMakeFiles/cfi_showdown.dir/cfi_showdown.cpp.o.d"
+  "cfi_showdown"
+  "cfi_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfi_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_process.dir/cross_process.cpp.o"
+  "CMakeFiles/cross_process.dir/cross_process.cpp.o.d"
+  "cross_process"
+  "cross_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

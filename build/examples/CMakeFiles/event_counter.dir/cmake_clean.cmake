@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_counter.dir/event_counter.cpp.o"
+  "CMakeFiles/event_counter.dir/event_counter.cpp.o.d"
+  "event_counter"
+  "event_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_ir.dir/inspect_ir.cpp.o"
+  "CMakeFiles/inspect_ir.dir/inspect_ir.cpp.o.d"
+  "inspect_ir"
+  "inspect_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

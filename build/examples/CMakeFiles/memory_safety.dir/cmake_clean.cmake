@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_safety.dir/memory_safety.cpp.o"
+  "CMakeFiles/memory_safety.dir/memory_safety.cpp.o.d"
+  "memory_safety"
+  "memory_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nginx_sim.dir/nginx_sim.cpp.o"
+  "CMakeFiles/nginx_sim.dir/nginx_sim.cpp.o.d"
+  "nginx_sim"
+  "nginx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

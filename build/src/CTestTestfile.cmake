@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ipc")
+subdirs("fpga")
+subdirs("uarch")
+subdirs("kernel")
+subdirs("policy")
+subdirs("verifier")
+subdirs("ir")
+subdirs("compiler")
+subdirs("runtime")
+subdirs("cfi")
+subdirs("sim")
+subdirs("workloads")

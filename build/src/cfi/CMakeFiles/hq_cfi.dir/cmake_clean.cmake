@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_cfi.dir/design.cc.o"
+  "CMakeFiles/hq_cfi.dir/design.cc.o.d"
+  "libhq_cfi.a"
+  "libhq_cfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_cfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/log.cc.o"
+  "CMakeFiles/hq_common.dir/log.cc.o.d"
+  "CMakeFiles/hq_common.dir/stats.cc.o"
+  "CMakeFiles/hq_common.dir/stats.cc.o.d"
+  "CMakeFiles/hq_common.dir/status.cc.o"
+  "CMakeFiles/hq_common.dir/status.cc.o.d"
+  "libhq_common.a"
+  "libhq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/hq_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/devirt.cc" "src/compiler/CMakeFiles/hq_compiler.dir/devirt.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/devirt.cc.o.d"
+  "/root/repo/src/compiler/dfi_lowering.cc" "src/compiler/CMakeFiles/hq_compiler.dir/dfi_lowering.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/dfi_lowering.cc.o.d"
+  "/root/repo/src/compiler/lowering.cc" "src/compiler/CMakeFiles/hq_compiler.dir/lowering.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/lowering.cc.o.d"
+  "/root/repo/src/compiler/optimize.cc" "src/compiler/CMakeFiles/hq_compiler.dir/optimize.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/optimize.cc.o.d"
+  "/root/repo/src/compiler/pass_manager.cc" "src/compiler/CMakeFiles/hq_compiler.dir/pass_manager.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/pass_manager.cc.o.d"
+  "/root/repo/src/compiler/syscall_sync.cc" "src/compiler/CMakeFiles/hq_compiler.dir/syscall_sync.cc.o" "gcc" "src/compiler/CMakeFiles/hq_compiler.dir/syscall_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hq_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_compiler.dir/analysis.cc.o"
+  "CMakeFiles/hq_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/devirt.cc.o"
+  "CMakeFiles/hq_compiler.dir/devirt.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/dfi_lowering.cc.o"
+  "CMakeFiles/hq_compiler.dir/dfi_lowering.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/lowering.cc.o"
+  "CMakeFiles/hq_compiler.dir/lowering.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/optimize.cc.o"
+  "CMakeFiles/hq_compiler.dir/optimize.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/pass_manager.cc.o"
+  "CMakeFiles/hq_compiler.dir/pass_manager.cc.o.d"
+  "CMakeFiles/hq_compiler.dir/syscall_sync.cc.o"
+  "CMakeFiles/hq_compiler.dir/syscall_sync.cc.o.d"
+  "libhq_compiler.a"
+  "libhq_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

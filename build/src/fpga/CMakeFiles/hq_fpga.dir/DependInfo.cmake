@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/afu.cc" "src/fpga/CMakeFiles/hq_fpga.dir/afu.cc.o" "gcc" "src/fpga/CMakeFiles/hq_fpga.dir/afu.cc.o.d"
+  "/root/repo/src/fpga/fpga_channel.cc" "src/fpga/CMakeFiles/hq_fpga.dir/fpga_channel.cc.o" "gcc" "src/fpga/CMakeFiles/hq_fpga.dir/fpga_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/hq_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

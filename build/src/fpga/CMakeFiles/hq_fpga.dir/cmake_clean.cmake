@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_fpga.dir/afu.cc.o"
+  "CMakeFiles/hq_fpga.dir/afu.cc.o.d"
+  "CMakeFiles/hq_fpga.dir/fpga_channel.cc.o"
+  "CMakeFiles/hq_fpga.dir/fpga_channel.cc.o.d"
+  "libhq_fpga.a"
+  "libhq_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

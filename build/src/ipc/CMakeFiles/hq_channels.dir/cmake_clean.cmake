@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_channels.dir/channel_factory.cc.o"
+  "CMakeFiles/hq_channels.dir/channel_factory.cc.o.d"
+  "libhq_channels.a"
+  "libhq_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/message.cc" "src/ipc/CMakeFiles/hq_ipc.dir/message.cc.o" "gcc" "src/ipc/CMakeFiles/hq_ipc.dir/message.cc.o.d"
+  "/root/repo/src/ipc/posix_channels.cc" "src/ipc/CMakeFiles/hq_ipc.dir/posix_channels.cc.o" "gcc" "src/ipc/CMakeFiles/hq_ipc.dir/posix_channels.cc.o.d"
+  "/root/repo/src/ipc/shm_channel.cc" "src/ipc/CMakeFiles/hq_ipc.dir/shm_channel.cc.o" "gcc" "src/ipc/CMakeFiles/hq_ipc.dir/shm_channel.cc.o.d"
+  "/root/repo/src/ipc/spsc_ring.cc" "src/ipc/CMakeFiles/hq_ipc.dir/spsc_ring.cc.o" "gcc" "src/ipc/CMakeFiles/hq_ipc.dir/spsc_ring.cc.o.d"
+  "/root/repo/src/ipc/xproc_ring.cc" "src/ipc/CMakeFiles/hq_ipc.dir/xproc_ring.cc.o" "gcc" "src/ipc/CMakeFiles/hq_ipc.dir/xproc_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_ipc.dir/message.cc.o"
+  "CMakeFiles/hq_ipc.dir/message.cc.o.d"
+  "CMakeFiles/hq_ipc.dir/posix_channels.cc.o"
+  "CMakeFiles/hq_ipc.dir/posix_channels.cc.o.d"
+  "CMakeFiles/hq_ipc.dir/shm_channel.cc.o"
+  "CMakeFiles/hq_ipc.dir/shm_channel.cc.o.d"
+  "CMakeFiles/hq_ipc.dir/spsc_ring.cc.o"
+  "CMakeFiles/hq_ipc.dir/spsc_ring.cc.o.d"
+  "CMakeFiles/hq_ipc.dir/xproc_ring.cc.o"
+  "CMakeFiles/hq_ipc.dir/xproc_ring.cc.o.d"
+  "libhq_ipc.a"
+  "libhq_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_ir.dir/builder.cc.o"
+  "CMakeFiles/hq_ir.dir/builder.cc.o.d"
+  "CMakeFiles/hq_ir.dir/cfg.cc.o"
+  "CMakeFiles/hq_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/hq_ir.dir/dominators.cc.o"
+  "CMakeFiles/hq_ir.dir/dominators.cc.o.d"
+  "CMakeFiles/hq_ir.dir/module.cc.o"
+  "CMakeFiles/hq_ir.dir/module.cc.o.d"
+  "CMakeFiles/hq_ir.dir/printer.cc.o"
+  "CMakeFiles/hq_ir.dir/printer.cc.o.d"
+  "CMakeFiles/hq_ir.dir/verify.cc.o"
+  "CMakeFiles/hq_ir.dir/verify.cc.o.d"
+  "libhq_ir.a"
+  "libhq_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

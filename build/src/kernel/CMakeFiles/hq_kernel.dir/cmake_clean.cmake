@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_kernel.dir/kernel.cc.o"
+  "CMakeFiles/hq_kernel.dir/kernel.cc.o.d"
+  "libhq_kernel.a"
+  "libhq_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/data_flow.cc" "src/policy/CMakeFiles/hq_policy.dir/data_flow.cc.o" "gcc" "src/policy/CMakeFiles/hq_policy.dir/data_flow.cc.o.d"
+  "/root/repo/src/policy/memory_safety.cc" "src/policy/CMakeFiles/hq_policy.dir/memory_safety.cc.o" "gcc" "src/policy/CMakeFiles/hq_policy.dir/memory_safety.cc.o.d"
+  "/root/repo/src/policy/memory_tagging.cc" "src/policy/CMakeFiles/hq_policy.dir/memory_tagging.cc.o" "gcc" "src/policy/CMakeFiles/hq_policy.dir/memory_tagging.cc.o.d"
+  "/root/repo/src/policy/misc_policies.cc" "src/policy/CMakeFiles/hq_policy.dir/misc_policies.cc.o" "gcc" "src/policy/CMakeFiles/hq_policy.dir/misc_policies.cc.o.d"
+  "/root/repo/src/policy/pointer_integrity.cc" "src/policy/CMakeFiles/hq_policy.dir/pointer_integrity.cc.o" "gcc" "src/policy/CMakeFiles/hq_policy.dir/pointer_integrity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/hq_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_policy.dir/data_flow.cc.o"
+  "CMakeFiles/hq_policy.dir/data_flow.cc.o.d"
+  "CMakeFiles/hq_policy.dir/memory_safety.cc.o"
+  "CMakeFiles/hq_policy.dir/memory_safety.cc.o.d"
+  "CMakeFiles/hq_policy.dir/memory_tagging.cc.o"
+  "CMakeFiles/hq_policy.dir/memory_tagging.cc.o.d"
+  "CMakeFiles/hq_policy.dir/misc_policies.cc.o"
+  "CMakeFiles/hq_policy.dir/misc_policies.cc.o.d"
+  "CMakeFiles/hq_policy.dir/pointer_integrity.cc.o"
+  "CMakeFiles/hq_policy.dir/pointer_integrity.cc.o.d"
+  "libhq_policy.a"
+  "libhq_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

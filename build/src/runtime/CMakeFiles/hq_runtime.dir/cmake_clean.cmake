@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_runtime.dir/memory.cc.o"
+  "CMakeFiles/hq_runtime.dir/memory.cc.o.d"
+  "CMakeFiles/hq_runtime.dir/vm.cc.o"
+  "CMakeFiles/hq_runtime.dir/vm.cc.o.d"
+  "libhq_runtime.a"
+  "libhq_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

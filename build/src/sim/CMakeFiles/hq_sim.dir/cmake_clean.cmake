@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_sim.dir/core_model.cc.o"
+  "CMakeFiles/hq_sim.dir/core_model.cc.o.d"
+  "libhq_sim.a"
+  "libhq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

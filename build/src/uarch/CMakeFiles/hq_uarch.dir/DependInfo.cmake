@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/amr.cc" "src/uarch/CMakeFiles/hq_uarch.dir/amr.cc.o" "gcc" "src/uarch/CMakeFiles/hq_uarch.dir/amr.cc.o.d"
+  "/root/repo/src/uarch/uarch_model_channel.cc" "src/uarch/CMakeFiles/hq_uarch.dir/uarch_model_channel.cc.o" "gcc" "src/uarch/CMakeFiles/hq_uarch.dir/uarch_model_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/hq_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

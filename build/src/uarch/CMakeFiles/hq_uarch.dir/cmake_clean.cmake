@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_uarch.dir/amr.cc.o"
+  "CMakeFiles/hq_uarch.dir/amr.cc.o.d"
+  "CMakeFiles/hq_uarch.dir/uarch_model_channel.cc.o"
+  "CMakeFiles/hq_uarch.dir/uarch_model_channel.cc.o.d"
+  "libhq_uarch.a"
+  "libhq_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

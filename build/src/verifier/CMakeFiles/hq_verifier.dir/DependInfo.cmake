@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/hq_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/hq_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/hq_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hq_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/hq_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

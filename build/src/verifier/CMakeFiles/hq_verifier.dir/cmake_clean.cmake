@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_verifier.dir/verifier.cc.o"
+  "CMakeFiles/hq_verifier.dir/verifier.cc.o.d"
+  "libhq_verifier.a"
+  "libhq_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

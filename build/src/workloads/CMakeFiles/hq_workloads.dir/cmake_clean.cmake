@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_workloads.dir/ripe.cc.o"
+  "CMakeFiles/hq_workloads.dir/ripe.cc.o.d"
+  "CMakeFiles/hq_workloads.dir/runner.cc.o"
+  "CMakeFiles/hq_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/hq_workloads.dir/spec_generator.cc.o"
+  "CMakeFiles/hq_workloads.dir/spec_generator.cc.o.d"
+  "CMakeFiles/hq_workloads.dir/spec_profiles.cc.o"
+  "CMakeFiles/hq_workloads.dir/spec_profiles.cc.o.d"
+  "libhq_workloads.a"
+  "libhq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

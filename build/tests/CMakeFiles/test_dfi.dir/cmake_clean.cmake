@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfi.dir/test_dfi.cc.o"
+  "CMakeFiles/test_dfi.dir/test_dfi.cc.o.d"
+  "test_dfi"
+  "test_dfi.pdb"
+  "test_dfi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_verifier.dir/test_kernel_verifier.cc.o"
+  "CMakeFiles/test_kernel_verifier.dir/test_kernel_verifier.cc.o.d"
+  "test_kernel_verifier"
+  "test_kernel_verifier.pdb"
+  "test_kernel_verifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

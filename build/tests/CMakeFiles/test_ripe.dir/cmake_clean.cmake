@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ripe.dir/test_ripe.cc.o"
+  "CMakeFiles/test_ripe.dir/test_ripe.cc.o.d"
+  "test_ripe"
+  "test_ripe.pdb"
+  "test_ripe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_setjmp.dir/test_setjmp.cc.o"
+  "CMakeFiles/test_setjmp.dir/test_setjmp.cc.o.d"
+  "test_setjmp"
+  "test_setjmp.pdb"
+  "test_setjmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_setjmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

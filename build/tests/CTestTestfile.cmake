@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_verifier[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_ripe[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_setjmp[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_reproduction[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_dfi[1]_include.cmake")
