@@ -20,6 +20,7 @@
 #include "verifier/verifier.h"
 #include "workloads/spec_generator.h"
 #include "workloads/spec_profiles.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -60,6 +61,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 0.5;

@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "ipc/posix_channels.h"
 #include "workloads/runner.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -57,6 +58,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 0.4;

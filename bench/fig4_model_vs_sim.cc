@@ -26,6 +26,7 @@
 #include "verifier/verifier.h"
 #include "workloads/spec_generator.h"
 #include "workloads/spec_profiles.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -82,6 +83,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     // "train" inputs: smaller than the ref-scale perf runs.

@@ -15,6 +15,7 @@
 #include "common/log.h"
 #include "common/stats.h"
 #include "workloads/runner.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -67,6 +68,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 0.4;

@@ -15,11 +15,13 @@
 #include "common/log.h"
 #include "common/stats.h"
 #include "workloads/runner.h"
+#include "telemetry/telemetry.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 0.1;

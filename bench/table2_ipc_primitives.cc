@@ -23,6 +23,7 @@
 #include "common/timer.h"
 #include "ipc/channel.h"
 #include "ipc/posix_channels.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -172,6 +173,7 @@ printTable2()
 int
 main(int argc, char **argv)
 {
+    hq::telemetry::handleBenchArgs(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     hq::printTable2();

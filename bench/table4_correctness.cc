@@ -17,6 +17,7 @@
 
 #include "common/log.h"
 #include "workloads/runner.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -73,6 +74,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 0.02;

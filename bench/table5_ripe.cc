@@ -11,6 +11,7 @@
 
 #include "common/log.h"
 #include "workloads/ripe.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 namespace {
@@ -53,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hq;
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Off); // epoch warnings are expected here
 
     int variants = 18;

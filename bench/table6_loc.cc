@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 #include <vector>
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -39,8 +40,9 @@ countLines(const fs::path &dir)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hq::telemetry::handleBenchArgs(argc, argv);
     const fs::path src = fs::path(HQ_SOURCE_DIR) / "src";
 
     struct Component

@@ -16,11 +16,17 @@ echo "== tests =="
 ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
 
 echo "== benches =="
+# Each bench records latency histograms and a Chrome trace alongside its
+# stdout table; the JSON dumps land in bench/results/ (see
+# docs/observability.md for how to open them in Perfetto).
+RESULTS_DIR="$ROOT/bench/results"
+mkdir -p "$RESULTS_DIR"
 for b in "$BUILD_DIR"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b ====="
-    "$b"
+    "$b" --telemetry-out="$RESULTS_DIR/$(basename "$b").telemetry.json"
 done 2>&1 | tee bench_output.txt
+echo "Telemetry dumps: $RESULTS_DIR"
 
 # Artifact-style CSVs (per-benchmark rows).
 "$BUILD_DIR"/bench/table4_correctness 0.02 table4_out.csv > /dev/null

@@ -83,12 +83,27 @@ RunningStat::add(double sample)
     }
     ++_count;
     _total += sample;
+    const double delta = sample - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (sample - _mean);
 }
 
 double
 RunningStat::mean() const
 {
-    return _count ? _total / static_cast<double>(_count) : 0.0;
+    return _count ? _mean : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return _count > 1 ? _m2 / static_cast<double>(_count - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 void

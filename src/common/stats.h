@@ -39,7 +39,8 @@ double maxOf(const std::vector<double> &samples);
  * Incremental accumulator for counters and derived statistics.
  *
  * Used by the verifier and kernel module to track per-process message and
- * system-call statistics without storing every sample.
+ * system-call statistics without storing every sample, and by the
+ * telemetry histograms for Welford-style mean/stddev of latency samples.
  */
 class RunningStat
 {
@@ -53,11 +54,19 @@ class RunningStat
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
 
+    /** Sample (n-1) variance via Welford's algorithm; 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation; 0 for n < 2. */
+    double stddev() const;
+
   private:
     std::uint64_t _count = 0;
     double _total = 0.0;
     double _min = 0.0;
     double _max = 0.0;
+    double _mean = 0.0; //!< Welford running mean
+    double _m2 = 0.0;   //!< Welford sum of squared deviations
 };
 
 /**

@@ -2,7 +2,37 @@
 
 #include <chrono>
 
+#include "telemetry/telemetry.h"
+
 namespace hq {
+
+namespace {
+
+telemetry::Histogram &
+appendHist()
+{
+    static telemetry::Histogram &h =
+        telemetry::Registry::instance().histogram("fpga.append_ns");
+    return h;
+}
+
+telemetry::Counter &
+messagesCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("fpga.messages");
+    return c;
+}
+
+telemetry::Counter &
+droppedCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("fpga.dropped");
+    return c;
+}
+
+} // namespace
 
 FpgaAfu::FpgaAfu(const FpgaConfig &config)
     : _config(config), _host_buffer(config.host_buffer_messages)
@@ -43,6 +73,10 @@ FpgaAfu::stallForMmioWrite() const
 void
 FpgaAfu::mmioWrite(std::uint32_t offset, std::uint64_t data)
 {
+    // Device append latency: the sender-side cost of one posted MMIO
+    // write, modeled stall included.
+    telemetry::ScopedTimer append_timer(appendHist());
+
     stallForMmioWrite();
 
     if (offset == kRegArg0) {
@@ -74,6 +108,10 @@ FpgaAfu::mmioWrite(std::uint32_t offset, std::uint64_t data)
             // verifier will observe a gap in the sequence counter and
             // must terminate the monitored program (integrity violation).
             _dropped.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry::enabled())
+                droppedCounter().inc();
+        } else if (telemetry::enabled()) {
+            messagesCounter().inc();
         }
         return;
     }

@@ -1,5 +1,7 @@
 #include "ipc/spsc_ring.h"
 
+#include "telemetry/telemetry.h"
+
 namespace hq {
 
 namespace {
@@ -11,6 +13,22 @@ roundUpPow2(std::size_t value)
     while (pow2 < value)
         pow2 <<= 1;
     return pow2;
+}
+
+telemetry::Gauge &
+occupancyGauge()
+{
+    static telemetry::Gauge &g =
+        telemetry::Registry::instance().gauge("ipc.ring_occupancy");
+    return g;
+}
+
+telemetry::Counter &
+pushFailCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("ipc.ring_push_fail");
+    return c;
 }
 
 } // namespace
@@ -26,10 +44,15 @@ SpscRing::tryPush(const Message &message)
 {
     const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
     const std::uint64_t head = _head.load(std::memory_order_acquire);
-    if (tail - head > _mask)
+    if (tail - head > _mask) {
+        if (telemetry::enabled())
+            pushFailCounter().inc();
         return false; // full
+    }
     _slots[tail & _mask] = message;
     _tail.store(tail + 1, std::memory_order_release);
+    if (telemetry::enabled())
+        occupancyGauge().set(tail + 1 - head);
     return true;
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 
@@ -19,6 +20,22 @@ roundUpPow2(std::size_t value)
     while (pow2 < value)
         pow2 <<= 1;
     return pow2;
+}
+
+telemetry::Gauge &
+xprocOccupancyGauge()
+{
+    static telemetry::Gauge &g =
+        telemetry::Registry::instance().gauge("ipc.xproc_occupancy");
+    return g;
+}
+
+telemetry::Counter &
+xprocFullWaitsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("ipc.xproc_full_waits");
+    return c;
 }
 
 } // namespace
@@ -54,6 +71,7 @@ XprocChannel::send(const Message &message)
     if (!_region)
         return Status::error(StatusCode::Unavailable, "no mapping");
     const std::uint64_t mask = _region->capacity - 1;
+    bool counted_full = false;
     for (;;) {
         const std::uint64_t tail =
             _region->tail.load(std::memory_order_relaxed);
@@ -62,9 +80,16 @@ XprocChannel::send(const Message &message)
         if (tail - head <= mask) {
             _region->slots[tail & mask] = message;
             _region->tail.store(tail + 1, std::memory_order_release);
+            if (telemetry::enabled())
+                xprocOccupancyGauge().set(tail + 1 - head);
             return Status::ok();
         }
-        // Full: wait for the verifier process to drain.
+        // Full: wait for the verifier process to drain. (Count each
+        // send that stalled once, not every polling iteration.)
+        if (!counted_full && telemetry::enabled()) {
+            xprocFullWaitsCounter().inc();
+            counted_full = true;
+        }
         std::this_thread::yield();
     }
 }

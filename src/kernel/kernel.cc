@@ -1,8 +1,39 @@
 #include "kernel/kernel.h"
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace hq {
+
+namespace {
+
+telemetry::Histogram &
+syscallPauseHist()
+{
+    static telemetry::Histogram &h =
+        telemetry::Registry::instance().histogram(
+            "kernel.syscall_pause_ns");
+    return h;
+}
+
+telemetry::Counter &
+syscallsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("kernel.syscalls");
+    return c;
+}
+
+telemetry::Counter &
+epochTimeoutsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("kernel.epoch_timeouts");
+    return c;
+}
+
+} // namespace
 
 KernelModule::KernelModule() : KernelModule(Config{}) {}
 
@@ -118,6 +149,14 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
     }
     ++context->stats.syscalls;
 
+    // Bounded-asynchronous-validation pause latency (the paper's key
+    // kernel-side metric): everything from interception to resumption,
+    // spin window and sleep included.
+    telemetry::ScopedTimer pause_timer(syscallPauseHist());
+    telemetry::TraceScope pause_scope("kernel.syscall_pause");
+    if (telemetry::enabled())
+        syscallsCounter().inc();
+
     if (context->killed) {
         return Status::error(StatusCode::PolicyViolation,
                              context->kill_reason.empty()
@@ -147,6 +186,8 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
             // No synchronization message within the epoch: treat as a
             // policy violation and terminate the monitored program.
             ++context->stats.epoch_timeouts;
+            if (telemetry::enabled())
+                epochTimeoutsCounter().inc();
             context->killed = true;
             context->kill_reason = "synchronization epoch expired";
             logWarn("kernel: epoch expired for pid ", pid, " at syscall ",

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 
@@ -255,6 +256,17 @@ Vm::finish(ExitKind kind, std::string detail)
 {
     _result.exit = kind;
     _result.detail = std::move(detail);
+    // Counts accumulate locally in _result during interpretation (zero
+    // hot-loop cost) and flush into the registry once per run.
+    if (telemetry::enabled()) {
+        static telemetry::Counter &instrs =
+            telemetry::Registry::instance().counter("vm.instructions");
+        static telemetry::Counter &hq_ops =
+            telemetry::Registry::instance().counter(
+                "vm.instrumentation_ops");
+        instrs.add(_result.instructions);
+        hq_ops.add(_result.hq_ops);
+    }
     return _result;
 }
 
@@ -285,6 +297,10 @@ Vm::run(const std::vector<std::uint64_t> &args)
             function.blocks[_cur_block].instrs[_cur_index];
         if (_config.cycle_sink)
             _config.cycle_sink->onInstr(instr);
+        // Instrumentation density stat (HqDefine..DfiReadMsg are
+        // contiguous): exported as vm.instrumentation_ops at finish().
+        if (instr.op >= IrOp::HqDefine && instr.op <= IrOp::DfiReadMsg)
+            ++_result.hq_ops;
         auto R = [&frame](int reg) -> std::uint64_t & {
             return frame.regs[reg];
         };

@@ -99,6 +99,7 @@ struct RunResult
     ExitKind exit = ExitKind::Ok;
     std::uint64_t return_value = 0;
     std::uint64_t instructions = 0;
+    std::uint64_t hq_ops = 0; //!< executed instrumentation (Hq*/Dfi*) ops
     std::uint64_t inline_checks = 0;
     std::uint64_t inline_violations = 0;
     bool attack_payload_reached = false;

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Process-global metrics registry: counters, gauges, and log2-bucketed
+ * latency histograms, registered by name and exportable as JSON.
+ *
+ * This is the measurement layer behind the paper's evaluation (§5.4,
+ * Figures 3-5): per-message verification latency, syscall-pause wait
+ * time, AppendWrite queue occupancy, and message throughput. Metrics are
+ * recorded only while telemetry is enabled; every hot-path hook checks
+ * enabled() once per scope (RAII ScopedTimer / TraceScope), so disabled
+ * runs pay a single relaxed atomic load + branch and bench numbers are
+ * not perturbed.
+ *
+ * Naming scheme: `<component>.<metric>[_<unit>]`, e.g.
+ * `verifier.msg_latency_ns`, `kernel.syscall_pause_ns`,
+ * `ipc.ring_occupancy`. See docs/observability.md.
+ */
+
+#ifndef HQ_TELEMETRY_TELEMETRY_H
+#define HQ_TELEMETRY_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace hq {
+namespace telemetry {
+
+// --- Global enable switch --------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** True when telemetry recording is on (relaxed load: hot-path safe). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off (benches: --telemetry-out; tests). */
+void setEnabled(bool on);
+
+/** Monotonic nanoseconds since the process's telemetry epoch. */
+std::uint64_t nowNs();
+
+// --- Metric types ----------------------------------------------------
+
+/** Monotonic event counter; increments are lock-free and thread-safe. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta)
+    {
+        _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _value.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/**
+ * Instantaneous level (queue occupancy, entry count). Remembers the
+ * high-water mark alongside the last set value.
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::uint64_t value)
+    {
+        _value.store(value, std::memory_order_relaxed);
+        std::uint64_t seen = _max.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !_max.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    max() const
+    {
+        return _max.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        _value.store(0, std::memory_order_relaxed);
+        _max.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+    std::atomic<std::uint64_t> _max{0};
+};
+
+/**
+ * Latency histogram with log2 buckets: bucket i counts samples in
+ * [2^(i-1), 2^i) (bucket 0 counts zeros; the last bucket is the
+ * overflow bucket). Percentiles interpolate within the winning bucket
+ * and are clamped to the observed [min, max]; mean/stddev come from the
+ * exact Welford accumulator (hq::RunningStat), not the buckets.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /** Fold one sample (typically nanoseconds) into the histogram. */
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const;
+
+    /**
+     * Value at percentile p in [0, 100]: lower edge of the bucket that
+     * holds the p-th sample, linearly interpolated by rank within the
+     * bucket and clamped to the observed extrema. 0 when empty.
+     */
+    double percentile(double p) const;
+
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /** Snapshot of the raw bucket counts (index = floor(log2)+1). */
+    std::array<std::uint64_t, kBuckets> buckets() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex _mutex;
+    std::array<std::uint64_t, kBuckets> _buckets{};
+    RunningStat _stat;
+};
+
+// --- Registry --------------------------------------------------------
+
+/**
+ * Process-global name -> metric registry. Metric references returned by
+ * counter()/gauge()/histogram() are stable for the process lifetime, so
+ * hot paths should look a metric up once (function-local static) and
+ * reuse the reference.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Find-or-create by name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * All metrics as one JSON object:
+     * {"counters":{...},"gauges":{...},"histograms":{...}} with
+     * count/mean/stddev/min/max/p50/p90/p99 per histogram.
+     */
+    std::string toJson() const;
+
+    /** Zero every metric's value (registrations are kept). Tests. */
+    void reset();
+
+  private:
+    Registry();
+
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+};
+
+// --- RAII instrumentation helper -------------------------------------
+
+/**
+ * Times its scope into a histogram. When telemetry is disabled at
+ * construction the timer is inert: no clock read, no recording.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &histogram)
+        : _histogram(enabled() ? &histogram : nullptr),
+          _start(_histogram ? nowNs() : 0)
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (_histogram)
+            _histogram->record(nowNs() - _start);
+    }
+
+  private:
+    Histogram *_histogram;
+    std::uint64_t _start;
+};
+
+// --- Export ----------------------------------------------------------
+
+/**
+ * Write the combined telemetry dump — {"metrics": <Registry::toJson()>,
+ * "traceEvents": [...]} — to path. The traceEvents array is the Chrome
+ * trace_event format; load the file in chrome://tracing or Perfetto.
+ * @return true when the file was written.
+ */
+bool writeJsonFile(const std::string &path);
+
+/**
+ * Bench argv helper: strips `--telemetry-out=FILE` (and bare
+ * `--telemetry`) from argv, enables recording when present, and
+ * registers an atexit hook that writes the combined JSON dump to FILE.
+ * Call first thing in main(); positional args shift down.
+ */
+void handleBenchArgs(int &argc, char **argv);
+
+} // namespace telemetry
+} // namespace hq
+
+#endif // HQ_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,144 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hq {
+namespace telemetry {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t value)
+{
+    std::size_t pow2 = 1;
+    while (pow2 < value)
+        pow2 <<= 1;
+    return pow2;
+}
+
+} // namespace
+
+TraceBuffer::TraceBuffer(std::uint32_t tid, std::size_t capacity)
+    : _tid(tid), _mask(roundUpPow2(capacity ? capacity : 1) - 1),
+      _events(_mask + 1)
+{
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    const std::uint64_t cursor = _cursor.load(std::memory_order_acquire);
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(cursor, _mask + 1);
+    std::vector<TraceEvent> events;
+    events.reserve(retained);
+    for (std::uint64_t i = cursor - retained; i < cursor; ++i)
+        events.push_back(_events[i & _mask]);
+    return events;
+}
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+TraceBuffer &
+TraceRecorder::threadBuffer()
+{
+    thread_local std::shared_ptr<TraceBuffer> buffer;
+    if (!buffer) {
+        std::lock_guard<std::mutex> guard(_mutex);
+        buffer = std::make_shared<TraceBuffer>(_next_tid++, _capacity);
+        _buffers.push_back(buffer);
+    }
+    return *buffer;
+}
+
+void
+TraceRecorder::setCapacity(std::size_t events)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _capacity = events ? events : 1;
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        buffers = _buffers;
+    }
+
+    // Merge all per-thread windows, oldest first, so viewers that care
+    // about ordering (and humans reading the file) see one timeline.
+    struct Tagged
+    {
+        TraceEvent event;
+        std::uint32_t tid;
+    };
+    std::vector<Tagged> merged;
+    for (const auto &buffer : buffers) {
+        for (const TraceEvent &event : buffer->snapshot()) {
+            if (event.name)
+                merged.push_back({event, buffer->tid()});
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.event.ts_ns < b.event.ts_ns;
+                     });
+
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    char buf[64];
+    for (const Tagged &tagged : merged) {
+        const TraceEvent &event = tagged.event;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << event.name << "\",\"cat\":\"hq\",\"ph\":\""
+           << event.phase << "\",\"pid\":1,\"tid\":" << tagged.tid;
+        std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                      static_cast<double>(event.ts_ns) / 1000.0);
+        os << buf;
+        if (event.phase == 'X') {
+            std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                          static_cast<double>(event.dur_ns) / 1000.0);
+            os << buf;
+        } else if (event.phase == 'i') {
+            os << ",\"s\":\"t\"";
+        } else if (event.phase == 'C') {
+            os << ",\"args\":{\"value\":" << event.value << "}";
+        }
+        os << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+std::uint64_t
+TraceRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    std::uint64_t total = 0;
+    for (const auto &buffer : _buffers)
+        total += buffer->recorded();
+    return total;
+}
+
+void
+TraceRecorder::reset()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    for (const auto &buffer : _buffers)
+        buffer->reset();
+}
+
+} // namespace telemetry
+} // namespace hq

@@ -1,8 +1,57 @@
 #include "verifier/verifier.h"
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace hq {
+
+namespace {
+
+// Metric handles are resolved once and cached: registry lookups stay
+// off the per-message path.
+telemetry::Histogram &
+msgLatencyHist()
+{
+    static telemetry::Histogram &h =
+        telemetry::Registry::instance().histogram(
+            "verifier.msg_latency_ns");
+    return h;
+}
+
+telemetry::Counter &
+messagesCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("verifier.messages");
+    return c;
+}
+
+telemetry::Counter &
+violationsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("verifier.violations");
+    return c;
+}
+
+telemetry::Counter &
+syscallAcksCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::Registry::instance().counter("verifier.syscall_acks");
+    return c;
+}
+
+telemetry::Gauge &
+policyEntriesGauge()
+{
+    static telemetry::Gauge &g =
+        telemetry::Registry::instance().gauge("verifier.policy_entries");
+    return g;
+}
+
+} // namespace
 
 Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy)
     : Verifier(kernel, std::move(policy), Config{})
@@ -84,6 +133,8 @@ Verifier::poll()
         }
     }
     _total_messages.fetch_add(processed, std::memory_order_relaxed);
+    if (processed > 0 && telemetry::enabled())
+        telemetry::traceCounter("verifier.batch_msgs", processed);
     return processed;
 }
 
@@ -93,6 +144,10 @@ Verifier::recordViolation(Pid pid, ProcessEntry &process,
 {
     process.violated = true;
     ++process.stats.violations;
+    if (telemetry::enabled()) {
+        violationsCounter().inc();
+        telemetry::traceInstant("verifier.violation");
+    }
     logDebug("verifier: violation for pid ", pid, ": ", reason);
     if (_config.kill_on_violation)
         _kernel.killProcess(pid, reason);
@@ -101,6 +156,9 @@ Verifier::recordViolation(Pid pid, ProcessEntry &process,
 void
 Verifier::handleMessage(ChannelEntry &entry, const Message &message)
 {
+    // Per-policy-check latency (§5.4): one histogram sample per message.
+    telemetry::ScopedTimer latency_timer(msgLatencyHist());
+
     // Authenticity: trust the hardware-stamped PID when present,
     // otherwise the kernel-arbitrated channel registration.
     const Pid pid = entry.device_stamped ? message.pid : entry.owner;
@@ -135,6 +193,10 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message)
 
     process.stats.max_entries =
         std::max(process.stats.max_entries, process.context->entryCount());
+    if (telemetry::enabled()) {
+        messagesCounter().inc();
+        policyEntriesGauge().set(process.stats.max_entries);
+    }
 
     if (message.op == Opcode::Syscall) {
         // All earlier messages on this (in-order) channel have been
@@ -142,6 +204,8 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message)
         // unless the process was violated and kill-on-violation is set.
         if (!(process.violated && _config.kill_on_violation)) {
             ++process.stats.syscall_acks;
+            if (telemetry::enabled())
+                syscallAcksCounter().inc();
             _kernel.syscallResume(pid);
         }
     }

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests of the telemetry subsystem: histogram bucket/percentile edge
+ * cases, Welford statistics, concurrent counter increments, trace-JSON
+ * well-formedness, and an end-to-end verifier/kernel integration run
+ * asserting the syscall-pause histogram is populated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "ipc/shm_channel.h"
+#include "kernel/kernel.h"
+#include "policy/pointer_integrity.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Histogram;
+using telemetry::Registry;
+using telemetry::TraceRecorder;
+
+/** Scoped enable: telemetry on for the test, restored after. */
+struct TelemetryOn
+{
+    TelemetryOn()
+    {
+        Registry::instance().reset();
+        TraceRecorder::instance().reset();
+        telemetry::setEnabled(true);
+    }
+    ~TelemetryOn() { telemetry::setEnabled(false); }
+};
+
+// ---------------------------------------------------------------------
+// Minimal JSON well-formedness checker (objects, arrays, strings,
+// numbers, literals) — enough to validate exporter output without a
+// JSON library.
+// ---------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : _text(text) {}
+
+    bool
+    valid()
+    {
+        _pos = 0;
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return _pos == _text.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (_pos >= _text.size())
+            return false;
+        switch (_text[_pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          default: return numberOrLiteral();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_pos; // '{'
+        skipSpace();
+        if (peek() == '}') { ++_pos; return true; }
+        for (;;) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            ++_pos;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') { ++_pos; continue; }
+            if (peek() == '}') { ++_pos; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++_pos; // '['
+        skipSpace();
+        if (peek() == ']') { ++_pos; return true; }
+        for (;;) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') { ++_pos; continue; }
+            if (peek() == ']') { ++_pos; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++_pos;
+        while (_pos < _text.size() && _text[_pos] != '"') {
+            if (_text[_pos] == '\\')
+                ++_pos;
+            ++_pos;
+        }
+        if (_pos >= _text.size())
+            return false;
+        ++_pos; // closing quote
+        return true;
+    }
+
+    bool
+    numberOrLiteral()
+    {
+        const std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               (std::isalnum(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '-' || _text[_pos] == '+' ||
+                _text[_pos] == '.')) {
+            ++_pos;
+        }
+        return _pos > start;
+    }
+
+    char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// RunningStat (Welford extension)
+// ---------------------------------------------------------------------
+
+TEST(RunningStatWelford, MatchesDirectStddev)
+{
+    const std::vector<double> samples = {4.0, 7.0, 13.0, 16.0};
+    RunningStat stat;
+    for (double s : samples)
+        stat.add(s);
+    EXPECT_NEAR(stat.mean(), mean(samples), 1e-12);
+    EXPECT_NEAR(stat.stddev(), stddev(samples), 1e-12);
+    EXPECT_NEAR(stat.variance(), stddev(samples) * stddev(samples),
+                1e-9);
+}
+
+TEST(RunningStatWelford, DegenerateCases)
+{
+    RunningStat stat;
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+    stat.add(42.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0); // n < 2
+    stat.add(42.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0); // identical samples
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(Histogram, EmptyHistogramReportsZeros)
+{
+    Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram hist;
+    hist.record(777);
+    EXPECT_EQ(hist.count(), 1u);
+    // Interpolation clamps to the observed extrema, so a lone sample is
+    // returned exactly at any percentile.
+    EXPECT_DOUBLE_EQ(hist.percentile(0), 777.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 777.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(100), 777.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 777.0);
+    EXPECT_DOUBLE_EQ(hist.min(), 777.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 777.0);
+}
+
+TEST(Histogram, ZeroSampleLandsInBucketZero)
+{
+    Histogram hist;
+    hist.record(0);
+    EXPECT_EQ(hist.buckets()[0], 1u);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+}
+
+TEST(Histogram, OverflowBucketHoldsHugeSamples)
+{
+    Histogram hist;
+    const std::uint64_t huge = 1ULL << 63; // bit_width 64 -> capped
+    hist.record(huge);
+    hist.record(~0ULL);
+    EXPECT_EQ(hist.buckets()[Histogram::kBuckets - 1], 2u);
+    // Percentiles stay clamped to real observed values.
+    EXPECT_LE(hist.percentile(99), hist.max());
+    EXPECT_GE(hist.percentile(1), hist.min());
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBracketed)
+{
+    Histogram hist;
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        hist.record(i);
+    double previous = 0.0;
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+        const double value = hist.percentile(p);
+        EXPECT_GE(value, previous) << "p" << p;
+        EXPECT_GE(value, hist.min());
+        EXPECT_LE(value, hist.max());
+        previous = value;
+    }
+    // log2 buckets: p50 of uniform 1..1000 should land within its
+    // bucket's factor-of-two resolution.
+    EXPECT_GE(hist.percentile(50), 256.0);
+    EXPECT_LE(hist.percentile(50), 1000.0);
+    EXPECT_NEAR(hist.mean(), 500.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Counter / Gauge / Registry
+// ---------------------------------------------------------------------
+
+TEST(CounterConcurrency, FourThreadsIncrementsAreLossless)
+{
+    Counter counter;
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 100000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kIncrements; ++i)
+                counter.inc();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(RegistryJson, PreRegisteredKeysAlwaysPresentAndWellFormed)
+{
+    const std::string json = Registry::instance().toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json.substr(0, 200);
+    EXPECT_NE(json.find("verifier.msg_latency_ns"), std::string::npos);
+    EXPECT_NE(json.find("kernel.syscall_pause_ns"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryJson, GaugeTracksHighWaterMark)
+{
+    telemetry::Gauge gauge;
+    gauge.set(3);
+    gauge.set(17);
+    gauge.set(5);
+    EXPECT_EQ(gauge.value(), 5u);
+    EXPECT_EQ(gauge.max(), 17u);
+}
+
+// ---------------------------------------------------------------------
+// Trace recorder
+// ---------------------------------------------------------------------
+
+TEST(TraceJson, EventsAreWellFormedChromeTraceJson)
+{
+    TelemetryOn on;
+    {
+        telemetry::TraceScope outer("outer");
+        telemetry::TraceScope inner("inner");
+        telemetry::traceInstant("tick");
+        telemetry::traceCounter("queue", 12);
+    }
+    const std::string json = TraceRecorder::instance().toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json.substr(0, 200);
+    EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":12}"), std::string::npos);
+}
+
+TEST(TraceJson, DisabledScopesRecordNothing)
+{
+    Registry::instance().reset();
+    TraceRecorder::instance().reset();
+    telemetry::setEnabled(false);
+    const std::uint64_t before = TraceRecorder::instance().totalRecorded();
+    {
+        telemetry::TraceScope scope("invisible");
+        telemetry::traceInstant("invisible");
+    }
+    EXPECT_EQ(TraceRecorder::instance().totalRecorded(), before);
+}
+
+TEST(TraceJson, RingWrapsKeepingNewestEvents)
+{
+    TelemetryOn on;
+    telemetry::TraceBuffer buffer(/*tid=*/99, /*capacity=*/8);
+    for (int i = 0; i < 100; ++i) {
+        telemetry::TraceEvent event;
+        event.name = "e";
+        event.ts_ns = static_cast<std::uint64_t>(i);
+        buffer.emit(event);
+    }
+    const auto window = buffer.snapshot();
+    ASSERT_EQ(window.size(), 8u);
+    EXPECT_EQ(window.front().ts_ns, 92u); // oldest retained
+    EXPECT_EQ(window.back().ts_ns, 99u);  // newest
+    EXPECT_EQ(buffer.recorded(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Combined exporter
+// ---------------------------------------------------------------------
+
+TEST(Exporter, WritesParseableCombinedDump)
+{
+    TelemetryOn on;
+    Registry::instance().histogram("verifier.msg_latency_ns").record(80);
+    {
+        telemetry::TraceScope scope("export.work");
+    }
+    const std::string path = ::testing::TempDir() + "hq_telemetry.json";
+    ASSERT_TRUE(telemetry::writeJsonFile(path));
+
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    std::remove(path.c_str());
+
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json.substr(0, 200);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("verifier.msg_latency_ns"), std::string::npos);
+    EXPECT_NE(json.find("kernel.syscall_pause_ns"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Verifier/kernel integration: a monitored run populates the pause
+// histogram and the message-latency histogram.
+// ---------------------------------------------------------------------
+
+TEST(VerifierIntegration, SyscallPauseHistogramPopulatedByMonitoredRun)
+{
+    TelemetryOn on;
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy);
+    ShmChannel channel(1 << 10);
+    const Pid pid = 7;
+    verifier.attachChannel(&channel, pid);
+    ASSERT_TRUE(kernel.enableProcess(pid).isOk());
+    verifier.start();
+
+    // Monitored program: define/check a pointer, then make system
+    // calls gated on the pipelined System-Call message.
+    ASSERT_TRUE(channel.send(Message(Opcode::PointerDefine, 0x1000,
+                                     0xabc)).isOk());
+    ASSERT_TRUE(channel.send(Message(Opcode::PointerCheck, 0x1000,
+                                     0xabc)).isOk());
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1)).isOk());
+        ASSERT_TRUE(kernel.syscallEnter(pid, 1).isOk());
+    }
+
+    verifier.stop();
+    kernel.exitProcess(pid);
+
+    auto &registry = Registry::instance();
+    EXPECT_EQ(registry.histogram("kernel.syscall_pause_ns").count(), 5u);
+    EXPECT_GE(registry.histogram("verifier.msg_latency_ns").count(), 7u);
+    EXPECT_GE(registry.counter("verifier.messages").value(), 7u);
+    EXPECT_EQ(registry.counter("kernel.syscalls").value(), 5u);
+    EXPECT_EQ(registry.counter("verifier.violations").value(), 0u);
+    // Pause latency percentiles must be within observed extrema.
+    auto &pause = registry.histogram("kernel.syscall_pause_ns");
+    EXPECT_GE(pause.percentile(99), pause.percentile(50));
+    EXPECT_LE(pause.percentile(99), pause.max());
+}
+
+} // namespace
+} // namespace hq
