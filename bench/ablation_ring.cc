@@ -26,7 +26,8 @@ namespace hq {
 namespace {
 
 double
-runWithCapacity(std::size_t capacity, double scale)
+runWithCapacity(std::size_t capacity, double scale,
+                std::size_t poll_batch = Verifier::Config{}.poll_batch)
 {
     ir::Module module = buildSpecModule(specProfile("h264ref"), scale);
     const Status status = instrumentModule(module, CfiDesign::HqSfeStk);
@@ -35,7 +36,9 @@ runWithCapacity(std::size_t capacity, double scale)
 
     KernelModule kernel;
     auto policy = std::make_shared<PointerIntegrityPolicy>();
-    Verifier verifier(kernel, policy);
+    Verifier::Config verifier_config;
+    verifier_config.poll_batch = poll_batch;
+    Verifier verifier(kernel, policy, verifier_config);
     UarchModelChannel channel(capacity);
     verifier.attachChannel(&channel, 1);
     HqRuntime runtime(1, channel, kernel);
@@ -85,5 +88,18 @@ main(int argc, char **argv)
                 "effectively never happen (big-buffer time here: "
                 "%.4f s).\n",
                 big_time);
+
+    std::printf("\n=== Ablation: verifier poll batch size "
+                "(h264ref, scale %.2f, 4096-msg AMR) ===\n",
+                scale);
+    std::printf("%-22s %12s\n", "poll_batch (msgs)", "time (s)");
+    for (std::size_t poll_batch : {1u, 8u, 64u}) {
+        const double seconds = runWithCapacity(4096, scale, poll_batch);
+        std::printf("%-22zu %12.4f\n", poll_batch, seconds);
+    }
+    std::printf("\nExpected: poll_batch 1 re-pays the lock, virtual "
+                "dispatch, and\ntelemetry cost per message; larger "
+                "batches amortize them, and the\ngain saturates once "
+                "the batch covers the typical ring occupancy.\n");
     return 0;
 }

@@ -88,6 +88,31 @@ RunningStat::add(double sample)
     _m2 += delta * (sample - _mean);
 }
 
+void
+RunningStat::addRepeated(double sample, std::uint64_t repeat)
+{
+    if (repeat == 0)
+        return;
+    // Chan et al. parallel merge of this accumulator with a batch of
+    // `repeat` identical samples (mean = sample, M2 = 0): exact, so
+    // batched recording matches `repeat` calls to add() bit-for-bit in
+    // count/total and to rounding in mean/M2.
+    if (_count == 0) {
+        _min = sample;
+        _max = sample;
+    } else {
+        _min = std::min(_min, sample);
+        _max = std::max(_max, sample);
+    }
+    const double n_a = static_cast<double>(_count);
+    const double n_b = static_cast<double>(repeat);
+    const double delta = sample - _mean;
+    _count += repeat;
+    _total += sample * n_b;
+    _mean += delta * n_b / (n_a + n_b);
+    _m2 += delta * delta * n_a * n_b / (n_a + n_b);
+}
+
 double
 RunningStat::mean() const
 {

@@ -48,6 +48,13 @@ class RunningStat
     /** Fold one sample into the accumulator. */
     void add(double sample);
 
+    /**
+     * Fold `repeat` copies of sample in O(1) (batched telemetry: one
+     * amortized-latency sample per message of a batch). Equivalent to
+     * calling add(sample) `repeat` times.
+     */
+    void addRepeated(double sample, std::uint64_t repeat);
+
     std::uint64_t count() const { return _count; }
     double total() const { return _total; }
     double mean() const;

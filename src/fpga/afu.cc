@@ -8,29 +8,9 @@ namespace hq {
 
 namespace {
 
-telemetry::Histogram &
-appendHist()
-{
-    static telemetry::Histogram &h =
-        telemetry::Registry::instance().histogram("fpga.append_ns");
-    return h;
-}
-
-telemetry::Counter &
-messagesCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("fpga.messages");
-    return c;
-}
-
-telemetry::Counter &
-droppedCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("fpga.dropped");
-    return c;
-}
+HQ_TELEMETRY_HANDLE(appendHist, Histogram, "fpga.append_ns")
+HQ_TELEMETRY_HANDLE(messagesCounter, Counter, "fpga.messages")
+HQ_TELEMETRY_HANDLE(droppedCounter, Counter, "fpga.dropped")
 
 } // namespace
 
@@ -129,6 +109,12 @@ bool
 FpgaAfu::hostRead(Message &out)
 {
     return _host_buffer.tryPop(out);
+}
+
+std::size_t
+FpgaAfu::hostReadBatch(Message *out, std::size_t max_count)
+{
+    return _host_buffer.tryPopBatch(out, max_count);
 }
 
 } // namespace hq

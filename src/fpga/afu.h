@@ -74,6 +74,13 @@ class FpgaAfu
     /** Verifier-side read from the host circular buffer. */
     bool hostRead(Message &out);
 
+    /**
+     * Verifier-side bulk read: dequeue up to max_count messages in
+     * writeback order (the pinned host buffer is contiguous, so the
+     * verifier drains whole cache lines per cursor update).
+     */
+    std::size_t hostReadBatch(Message *out, std::size_t max_count);
+
     /** Messages written back but not yet read by the verifier. */
     std::size_t hostPending() const { return _host_buffer.size(); }
 

@@ -31,4 +31,10 @@ FpgaChannel::tryRecv(Message &out)
     return _afu.hostRead(out);
 }
 
+std::size_t
+FpgaChannel::tryRecvBatch(Message *out, std::size_t max_count)
+{
+    return _afu.hostReadBatch(out, max_count);
+}
+
 } // namespace hq

@@ -24,6 +24,7 @@ class FpgaChannel : public Channel
 
     Status send(const Message &message) override;
     bool tryRecv(Message &out) override;
+    std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override { return _afu.hostPending(); }
     const ChannelTraits &traits() const override { return _traits; }
 

@@ -48,6 +48,20 @@ class Channel
      */
     virtual bool tryRecv(Message &out) = 0;
 
+    /**
+     * Receive up to max_count messages into out[0..), preserving send
+     * order, so one virtual call amortizes over a whole batch. The
+     * base-class default pops a single message; the ring-backed
+     * channels (shared memory, cross-process, FPGA host buffer, µarch
+     * AMR) override it with a true bulk dequeue.
+     * @return number of messages dequeued (0 when none available).
+     */
+    virtual std::size_t
+    tryRecvBatch(Message *out, std::size_t max_count)
+    {
+        return max_count != 0 && tryRecv(out[0]) ? 1 : 0;
+    }
+
     /** Approximate number of in-flight (sent but unreceived) messages. */
     virtual std::size_t pending() const = 0;
 

@@ -25,6 +25,12 @@ ShmChannel::tryRecv(Message &out)
     return _ring.tryPop(out);
 }
 
+std::size_t
+ShmChannel::tryRecvBatch(Message *out, std::size_t max_count)
+{
+    return _ring.tryPopBatch(out, max_count);
+}
+
 bool
 ShmChannel::corruptOldestPending(const Message &forged)
 {

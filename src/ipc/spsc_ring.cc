@@ -1,35 +1,20 @@
 #include "ipc/spsc_ring.h"
 
+#include <cstring>
+#include <type_traits>
+
+#include "common/bits.h"
 #include "telemetry/telemetry.h"
 
 namespace hq {
 
 namespace {
 
-std::size_t
-roundUpPow2(std::size_t value)
-{
-    std::size_t pow2 = 1;
-    while (pow2 < value)
-        pow2 <<= 1;
-    return pow2;
-}
+static_assert(std::is_trivially_copyable_v<Message>,
+              "batch transfer memcpys Message runs");
 
-telemetry::Gauge &
-occupancyGauge()
-{
-    static telemetry::Gauge &g =
-        telemetry::Registry::instance().gauge("ipc.ring_occupancy");
-    return g;
-}
-
-telemetry::Counter &
-pushFailCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("ipc.ring_push_fail");
-    return c;
-}
+HQ_TELEMETRY_HANDLE(occupancyGauge, Gauge, "ipc.ring_occupancy")
+HQ_TELEMETRY_HANDLE(pushFailCounter, Counter, "ipc.ring_push_fail")
 
 } // namespace
 
@@ -43,29 +28,99 @@ bool
 SpscRing::tryPush(const Message &message)
 {
     const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
-    const std::uint64_t head = _head.load(std::memory_order_acquire);
-    if (tail - head > _mask) {
-        if (telemetry::enabled())
-            pushFailCounter().inc();
-        return false; // full
+    if (tail - _cached_head > _mask) {
+        // Apparently full: refresh the cached consumer cursor. This is
+        // the only cross-core load on the push path, and it happens at
+        // most once per drain instead of once per message.
+        _cached_head = _head.load(std::memory_order_acquire);
+        if (tail - _cached_head > _mask) {
+            if (telemetry::enabled())
+                pushFailCounter().inc();
+            return false; // genuinely full
+        }
     }
     _slots[tail & _mask] = message;
     _tail.store(tail + 1, std::memory_order_release);
     if (telemetry::enabled())
-        occupancyGauge().set(tail + 1 - head);
+        occupancyGauge().set(tail + 1 - _cached_head);
     return true;
+}
+
+std::size_t
+SpscRing::tryPushBatch(const Message *messages, std::size_t count)
+{
+    if (count == 0)
+        return 0;
+    const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
+    std::uint64_t free_slots = capacity() - (tail - _cached_head);
+    if (free_slots < count) {
+        _cached_head = _head.load(std::memory_order_acquire);
+        free_slots = capacity() - (tail - _cached_head);
+        if (free_slots == 0) {
+            if (telemetry::enabled())
+                pushFailCounter().inc();
+            return 0;
+        }
+    }
+    const std::size_t n =
+        count < free_slots ? count : static_cast<std::size_t>(free_slots);
+
+    // At most two contiguous runs (around the wrap point).
+    const std::size_t start = static_cast<std::size_t>(tail & _mask);
+    const std::size_t first = std::min(n, capacity() - start);
+    std::memcpy(_slots.data() + start, messages, first * sizeof(Message));
+    if (n > first)
+        std::memcpy(_slots.data(), messages + first,
+                    (n - first) * sizeof(Message));
+
+    _tail.store(tail + n, std::memory_order_release);
+    if (telemetry::enabled())
+        occupancyGauge().set(tail + n - _cached_head);
+    return n;
 }
 
 bool
 SpscRing::tryPop(Message &out)
 {
     const std::uint64_t head = _head.load(std::memory_order_relaxed);
-    const std::uint64_t tail = _tail.load(std::memory_order_acquire);
-    if (head == tail)
-        return false; // empty
+    if (head == _cached_tail) {
+        // Apparently empty: refresh the cached producer cursor (the only
+        // cross-core load on the pop path).
+        _cached_tail = _tail.load(std::memory_order_acquire);
+        if (head == _cached_tail)
+            return false; // genuinely empty
+    }
     out = _slots[head & _mask];
     _head.store(head + 1, std::memory_order_release);
     return true;
+}
+
+std::size_t
+SpscRing::tryPopBatch(Message *out, std::size_t max_count)
+{
+    if (max_count == 0)
+        return 0;
+    const std::uint64_t head = _head.load(std::memory_order_relaxed);
+    std::uint64_t available = _cached_tail - head;
+    if (available < max_count) {
+        _cached_tail = _tail.load(std::memory_order_acquire);
+        available = _cached_tail - head;
+        if (available == 0)
+            return 0;
+    }
+    const std::size_t n = max_count < available
+                              ? max_count
+                              : static_cast<std::size_t>(available);
+
+    const std::size_t start = static_cast<std::size_t>(head & _mask);
+    const std::size_t first = std::min(n, capacity() - start);
+    std::memcpy(out, _slots.data() + start, first * sizeof(Message));
+    if (n > first)
+        std::memcpy(out + first, _slots.data(),
+                    (n - first) * sizeof(Message));
+
+    _head.store(head + n, std::memory_order_release);
+    return n;
 }
 
 bool

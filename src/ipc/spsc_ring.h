@@ -7,6 +7,15 @@
  * memory region (AMR) of the microarchitectural model. The paper assigns
  * one AMR per writer core with a single reader core iterating over all
  * mapped AMRs, which is exactly the SPSC discipline.
+ *
+ * Fast-path structure (see DESIGN.md "Fast path"):
+ *  - Each side keeps a *cached* copy of the other side's cursor and
+ *    refreshes it only on apparent-full/apparent-empty, so steady-state
+ *    pushes and pops touch no remote cache line beyond the slot itself.
+ *  - tryPushBatch/tryPopBatch move contiguous runs of the 32-byte POD
+ *    messages with one cursor load and one release-store per batch,
+ *    amortizing the cross-core synchronization over up to a whole
+ *    batch of messages.
  */
 
 #ifndef HQ_IPC_SPSC_RING_H
@@ -36,10 +45,26 @@ class SpscRing
     bool tryPush(const Message &message);
 
     /**
+     * Append up to count messages from messages[0..count), preserving
+     * order, with a single release-store of the producer cursor.
+     * Producer-side only.
+     * @return number of messages appended (0 when full; may be partial).
+     */
+    std::size_t tryPushBatch(const Message *messages, std::size_t count);
+
+    /**
      * Remove the oldest message into out; fails when the ring is empty.
      * Consumer-side only.
      */
     bool tryPop(Message &out);
+
+    /**
+     * Remove up to max_count oldest messages into out[0..), preserving
+     * order, with a single release-store of the consumer cursor.
+     * Consumer-side only.
+     * @return number of messages dequeued (0 when empty).
+     */
+    std::size_t tryPopBatch(Message *out, std::size_t max_count);
 
     /** Number of messages currently queued (approximate across threads). */
     std::size_t size() const;
@@ -61,8 +86,14 @@ class SpscRing
   private:
     std::vector<Message> _slots;
     std::size_t _mask;
-    alignas(64) std::atomic<std::uint64_t> _head{0}; //!< consumer cursor
-    alignas(64) std::atomic<std::uint64_t> _tail{0}; //!< producer cursor
+    /// Consumer-owned line: consumer cursor + its cache of the producer
+    /// cursor (refreshed only when the ring looks empty).
+    alignas(64) std::atomic<std::uint64_t> _head{0};
+    std::uint64_t _cached_tail = 0;
+    /// Producer-owned line: producer cursor + its cache of the consumer
+    /// cursor (refreshed only when the ring looks full).
+    alignas(64) std::atomic<std::uint64_t> _tail{0};
+    std::uint64_t _cached_head = 0;
 };
 
 } // namespace hq

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/bits.h"
 #include "common/log.h"
 #include "telemetry/telemetry.h"
 
@@ -13,30 +14,8 @@ namespace hq {
 
 namespace {
 
-std::size_t
-roundUpPow2(std::size_t value)
-{
-    std::size_t pow2 = 1;
-    while (pow2 < value)
-        pow2 <<= 1;
-    return pow2;
-}
-
-telemetry::Gauge &
-xprocOccupancyGauge()
-{
-    static telemetry::Gauge &g =
-        telemetry::Registry::instance().gauge("ipc.xproc_occupancy");
-    return g;
-}
-
-telemetry::Counter &
-xprocFullWaitsCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("ipc.xproc_full_waits");
-    return c;
-}
+HQ_TELEMETRY_HANDLE(xprocOccupancyGauge, Gauge, "ipc.xproc_occupancy")
+HQ_TELEMETRY_HANDLE(xprocFullWaitsCounter, Counter, "ipc.xproc_full_waits")
 
 } // namespace
 
@@ -75,13 +54,16 @@ XprocChannel::send(const Message &message)
     for (;;) {
         const std::uint64_t tail =
             _region->tail.load(std::memory_order_relaxed);
-        const std::uint64_t head =
-            _region->head.load(std::memory_order_acquire);
-        if (tail - head <= mask) {
+        if (tail - _cached_head > mask) {
+            // Apparently full: refresh the cached consumer cursor from
+            // the shared region (one cross-process cache-line load).
+            _cached_head = _region->head.load(std::memory_order_acquire);
+        }
+        if (tail - _cached_head <= mask) {
             _region->slots[tail & mask] = message;
             _region->tail.store(tail + 1, std::memory_order_release);
             if (telemetry::enabled())
-                xprocOccupancyGauge().set(tail + 1 - head);
+                xprocOccupancyGauge().set(tail + 1 - _cached_head);
             return Status::ok();
         }
         // Full: wait for the verifier process to drain. (Count each
@@ -97,18 +79,39 @@ XprocChannel::send(const Message &message)
 bool
 XprocChannel::tryRecv(Message &out)
 {
-    if (!_region)
-        return false;
-    const std::uint64_t mask = _region->capacity - 1;
+    return tryRecvBatch(&out, 1) == 1;
+}
+
+std::size_t
+XprocChannel::tryRecvBatch(Message *out, std::size_t max_count)
+{
+    if (!_region || max_count == 0)
+        return 0;
+    const std::uint64_t capacity = _region->capacity;
+    const std::uint64_t mask = capacity - 1;
     const std::uint64_t head =
         _region->head.load(std::memory_order_relaxed);
-    const std::uint64_t tail =
-        _region->tail.load(std::memory_order_acquire);
-    if (head == tail)
-        return false;
-    out = _region->slots[head & mask];
-    _region->head.store(head + 1, std::memory_order_release);
-    return true;
+    std::uint64_t available = _cached_tail - head;
+    if (available < max_count) {
+        _cached_tail = _region->tail.load(std::memory_order_acquire);
+        available = _cached_tail - head;
+        if (available == 0)
+            return 0;
+    }
+    const std::size_t n = max_count < available
+                              ? max_count
+                              : static_cast<std::size_t>(available);
+
+    const std::size_t start = static_cast<std::size_t>(head & mask);
+    const std::size_t first =
+        std::min(n, static_cast<std::size_t>(capacity) - start);
+    std::memcpy(out, _region->slots + start, first * sizeof(Message));
+    if (n > first)
+        std::memcpy(out + first, _region->slots,
+                    (n - first) * sizeof(Message));
+
+    _region->head.store(head + n, std::memory_order_release);
+    return n;
 }
 
 std::size_t

@@ -56,6 +56,7 @@ class XprocChannel : public Channel
 
     Status send(const Message &message) override;
     bool tryRecv(Message &out) override;
+    std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override;
     const ChannelTraits &traits() const override { return _traits; }
 
@@ -63,6 +64,13 @@ class XprocChannel : public Channel
     XprocRingRegion *_region = nullptr;
     std::size_t _map_bytes = 0;
     ChannelTraits _traits;
+    /// Cursor caches live in the channel object, NOT the shared region:
+    /// after fork() each process owns a private copy, so the producer's
+    /// cached head and the consumer's cached tail never cross the
+    /// process boundary (they are refreshed from the shared cursors on
+    /// apparent-full/empty only).
+    alignas(64) std::uint64_t _cached_head = 0; //!< producer-side cache
+    alignas(64) std::uint64_t _cached_tail = 0; //!< consumer-side cache
 };
 
 } // namespace hq

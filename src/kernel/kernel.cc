@@ -8,30 +8,9 @@ namespace hq {
 
 namespace {
 
-telemetry::Histogram &
-syscallPauseHist()
-{
-    static telemetry::Histogram &h =
-        telemetry::Registry::instance().histogram(
-            "kernel.syscall_pause_ns");
-    return h;
-}
-
-telemetry::Counter &
-syscallsCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("kernel.syscalls");
-    return c;
-}
-
-telemetry::Counter &
-epochTimeoutsCounter()
-{
-    static telemetry::Counter &c =
-        telemetry::Registry::instance().counter("kernel.epoch_timeouts");
-    return c;
-}
+HQ_TELEMETRY_HANDLE(syscallPauseHist, Histogram, "kernel.syscall_pause_ns")
+HQ_TELEMETRY_HANDLE(syscallsCounter, Counter, "kernel.syscalls")
+HQ_TELEMETRY_HANDLE(epochTimeoutsCounter, Counter, "kernel.epoch_timeouts")
 
 } // namespace
 

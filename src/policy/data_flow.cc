@@ -5,8 +5,8 @@ namespace hq {
 std::uint64_t
 DataFlowContext::lastWriter(Addr address) const
 {
-    auto it = _last_writer.find(address);
-    return it == _last_writer.end() ? kInitialWriter : it->second;
+    const std::uint64_t *writer = _last_writer.find(address);
+    return writer == nullptr ? kInitialWriter : *writer;
 }
 
 Status

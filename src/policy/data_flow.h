@@ -17,8 +17,8 @@
 #define HQ_POLICY_DATA_FLOW_H
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "policy/policy.h"
 
 namespace hq {
@@ -42,7 +42,9 @@ class DataFlowContext : public PolicyContext
 
   private:
     Pid _pid;
-    std::unordered_map<Addr, std::uint64_t> _last_writer;
+    /// DFI last-writer table: every protected load and store hits it, so
+    /// it uses the open-addressed flat map (point lookups only).
+    FlatMap<Addr, std::uint64_t> _last_writer;
     std::uint64_t _violations = 0;
 };
 

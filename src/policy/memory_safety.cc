@@ -1,5 +1,7 @@
 #include "policy/memory_safety.h"
 
+#include <vector>
+
 #include "common/log.h"
 
 namespace hq {
@@ -13,16 +15,21 @@ MemorySafetyContext::violation(MemoryViolation kind, const Message &message)
                          "memory-safety: " + message.toString());
 }
 
-std::map<Addr, std::uint64_t>::const_iterator
-MemorySafetyContext::findContaining(Addr address) const
+bool
+MemorySafetyContext::findContaining(Addr address, Addr &base_out) const
 {
-    auto it = _allocations.upper_bound(address);
-    if (it == _allocations.begin())
-        return _allocations.end();
-    --it;
-    if (address >= it->first && address < it->first + it->second)
-        return it;
-    return _allocations.end();
+    // Live allocations never overlap (enforced on CREATE/EXTEND), so at
+    // most one interval can contain the address; a full scan suffices.
+    bool found = false;
+    Addr base = 0;
+    _allocations.forEach([&](Addr alloc_base, std::uint64_t size) {
+        if (address >= alloc_base && address < alloc_base + size) {
+            found = true;
+            base = alloc_base;
+        }
+    });
+    base_out = base;
+    return found;
 }
 
 bool
@@ -30,21 +37,19 @@ MemorySafetyContext::overlapsExisting(Addr base, std::uint64_t size) const
 {
     if (size == 0)
         return false;
-    // Allocation starting before base that extends into [base, base+size)?
-    auto it = _allocations.upper_bound(base);
-    if (it != _allocations.begin()) {
-        auto prev = std::prev(it);
-        if (prev->first + prev->second > base)
-            return true;
-    }
-    // Allocation starting inside [base, base+size)?
-    return it != _allocations.end() && it->first < base + size;
+    bool overlaps = false;
+    _allocations.forEach([&](Addr alloc_base, std::uint64_t alloc_size) {
+        if (alloc_base < base + size && base < alloc_base + alloc_size)
+            overlaps = true;
+    });
+    return overlaps;
 }
 
 bool
 MemorySafetyContext::isLive(Addr address) const
 {
-    return findContaining(address) != _allocations.end();
+    Addr base;
+    return findContaining(address, base);
 }
 
 Status
@@ -70,17 +75,20 @@ MemorySafetyContext::handleMessage(const Message &message)
         return Status::ok();
       }
 
-      case Opcode::AllocCheck:
-        if (findContaining(message.arg0) == _allocations.end())
+      case Opcode::AllocCheck: {
+        Addr base;
+        if (!findContaining(message.arg0, base))
             return violation(MemoryViolation::OutOfBounds, message);
         return Status::ok();
+      }
 
       case Opcode::AllocCheckBase: {
-        auto a1 = findContaining(message.arg0);
-        auto a2 = findContaining(message.arg1);
-        if (a1 == _allocations.end() || a2 == _allocations.end())
+        Addr base1, base2;
+        const bool ok1 = findContaining(message.arg0, base1);
+        const bool ok2 = findContaining(message.arg1, base2);
+        if (!ok1 || !ok2)
             return violation(MemoryViolation::OutOfBounds, message);
-        if (a1 != a2)
+        if (base1 != base2)
             return violation(MemoryViolation::CrossAllocation, message);
         return Status::ok();
       }
@@ -90,10 +98,8 @@ MemorySafetyContext::handleMessage(const Message &message)
         const Addr dst = message.arg1;
         const std::uint64_t size = _pending_block_size;
         _pending_block_size = 0;
-        auto it = _allocations.find(src);
-        if (it == _allocations.end())
+        if (!_allocations.erase(src))
             return violation(MemoryViolation::InvalidFree, message);
-        _allocations.erase(it);
         if (overlapsExisting(dst, size)) {
             // Reinstate nothing: the extend target is invalid.
             return violation(MemoryViolation::OverlapCreate, message);
@@ -102,24 +108,22 @@ MemorySafetyContext::handleMessage(const Message &message)
         return Status::ok();
       }
 
-      case Opcode::AllocDestroy: {
-        auto it = _allocations.find(message.arg0);
-        if (it == _allocations.end())
+      case Opcode::AllocDestroy:
+        if (!_allocations.erase(message.arg0))
             return violation(MemoryViolation::InvalidFree, message);
-        _allocations.erase(it);
         return Status::ok();
-      }
 
       case Opcode::AllocDestroyAll: {
         const Addr base = message.arg0;
         const std::uint64_t size = message.arg1;
-        auto it = _allocations.lower_bound(base);
-        bool any = false;
-        while (it != _allocations.end() && it->first < base + size) {
-            it = _allocations.erase(it);
-            any = true;
-        }
-        if (!any)
+        std::vector<Addr> stale;
+        _allocations.forEach([&](Addr alloc_base, std::uint64_t) {
+            if (alloc_base >= base && alloc_base < base + size)
+                stale.push_back(alloc_base);
+        });
+        for (Addr alloc_base : stale)
+            _allocations.erase(alloc_base);
+        if (stale.empty())
             return violation(MemoryViolation::InvalidFree, message);
         return Status::ok();
       }

@@ -11,8 +11,8 @@
 #define HQ_POLICY_MEMORY_SAFETY_H
 
 #include <cstdint>
-#include <map>
 
+#include "common/flat_map.h"
 #include "policy/policy.h"
 
 namespace hq {
@@ -44,16 +44,22 @@ class MemorySafetyContext : public PolicyContext
   private:
     Status violation(MemoryViolation kind, const Message &message);
 
-    /** Allocation containing address, or end(). */
-    std::map<Addr, std::uint64_t>::const_iterator findContaining(
-        Addr address) const;
+    /**
+     * Base of the live allocation containing address.
+     * @return true and sets base_out when found.
+     */
+    bool findContaining(Addr address, Addr &base_out) const;
 
     /** True when [base, base+size) overlaps a live allocation. */
     bool overlapsExisting(Addr base, std::uint64_t size) const;
 
     Pid _pid;
-    /// base address -> size of each live allocation.
-    std::map<Addr, std::uint64_t> _allocations;
+    /// base address -> size of each live allocation. Open-addressed flat
+    /// map: the hot opcodes (CREATE/DESTROY/EXTEND) are exact-base point
+    /// lookups; the containment/overlap checks scan the table, which is
+    /// cheap at the table sizes the §5.4 workloads reach (≈10²) and keeps
+    /// the common path allocation- and pointer-chase-free.
+    FlatMap<Addr, std::uint64_t> _allocations;
     std::uint64_t _pending_block_size = 0;
     MemoryViolation _last_violation = MemoryViolation::None;
     std::uint64_t _violations = 0;

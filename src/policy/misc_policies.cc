@@ -21,8 +21,8 @@ EventCountContext::cloneForChild(Pid child) const
 std::uint64_t
 EventCountContext::counter(std::uint64_t id) const
 {
-    auto it = _counters.find(id);
-    return it == _counters.end() ? 0 : it->second;
+    const std::uint64_t *value = _counters.find(id);
+    return value == nullptr ? 0 : *value;
 }
 
 Status

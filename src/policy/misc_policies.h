@@ -8,8 +8,8 @@
 #define HQ_POLICY_MISC_POLICIES_H
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "policy/policy.h"
 
 namespace hq {
@@ -33,7 +33,7 @@ class EventCountContext : public PolicyContext
 
   private:
     Pid _pid;
-    std::unordered_map<std::uint64_t, std::uint64_t> _counters;
+    FlatMap<std::uint64_t, std::uint64_t> _counters;
 };
 
 class EventCountPolicy : public Policy

@@ -26,10 +26,10 @@ PointerIntegrityContext::notePeak()
 bool
 PointerIntegrityContext::lookup(Addr address, std::uint64_t &value_out) const
 {
-    auto it = _pointers.find(address);
-    if (it == _pointers.end())
+    const std::uint64_t *value = _pointers.find(address);
+    if (value == nullptr)
         return false;
-    value_out = it->second;
+    value_out = *value;
     return true;
 }
 
@@ -54,16 +54,16 @@ PointerIntegrityContext::handleMessage(const Message &message)
 
       case Opcode::PointerCheck:
       case Opcode::PointerCheckInvalidate: {
-        auto it = _pointers.find(message.arg0);
-        if (it == _pointers.end()) {
+        const std::uint64_t *value = _pointers.find(message.arg0);
+        if (value == nullptr) {
             // Never defined or previously invalidated: a use-after-free
             // on a control-flow pointer.
             return violation(PointerViolation::UseAfterFree, message);
         }
-        if (it->second != message.arg1)
+        if (*value != message.arg1)
             return violation(PointerViolation::Corrupted, message);
         if (message.op == Opcode::PointerCheckInvalidate)
-            _pointers.erase(it);
+            _pointers.erase(message.arg0);
         return Status::ok();
       }
 
@@ -80,28 +80,27 @@ PointerIntegrityContext::handleMessage(const Message &message)
         if (size == 0)
             return Status::ok();
 
-        // Collect source pointers first: ranges may intersect for COPY.
+        // Block operations are rare (memcpy/realloc boundaries) and the
+        // shadow store is small, so a full scan replaces the ordered
+        // range queries the old std::map offered. Collect first, then
+        // mutate: erase invalidates scan positions, and source and
+        // destination ranges may intersect for COPY.
         std::vector<std::pair<Addr, std::uint64_t>> moved;
-        for (auto it = _pointers.lower_bound(src);
-             it != _pointers.end() && it->first < src + size; ++it) {
-            moved.emplace_back(dst + (it->first - src), it->second);
-        }
-
-        // MOVE removes the originals (realloc frees the source block).
-        if (message.op == Opcode::PointerBlockMove) {
-            auto it = _pointers.lower_bound(src);
-            while (it != _pointers.end() && it->first < src + size)
-                it = _pointers.erase(it);
-        }
-
-        // Pre-existing pointers in the destination are invalidated: the
-        // raw bytes there were overwritten.
-        {
-            auto it = _pointers.lower_bound(dst);
-            while (it != _pointers.end() && it->first < dst + size)
-                it = _pointers.erase(it);
-        }
-
+        std::vector<Addr> stale;
+        _pointers.forEach([&](Addr addr, std::uint64_t value) {
+            if (addr >= src && addr < src + size) {
+                moved.emplace_back(dst + (addr - src), value);
+                // MOVE removes the originals (realloc frees the source).
+                if (message.op == Opcode::PointerBlockMove)
+                    stale.push_back(addr);
+            }
+            // Pre-existing pointers in the destination are invalidated:
+            // the raw bytes there were overwritten.
+            if (addr >= dst && addr < dst + size)
+                stale.push_back(addr);
+        });
+        for (Addr addr : stale)
+            _pointers.erase(addr);
         for (const auto &[addr, value] : moved)
             _pointers[addr] = value;
         notePeak();
@@ -111,9 +110,13 @@ PointerIntegrityContext::handleMessage(const Message &message)
       case Opcode::PointerBlockInvalidate: {
         const Addr base = message.arg0;
         const std::uint64_t size = message.arg1;
-        auto it = _pointers.lower_bound(base);
-        while (it != _pointers.end() && it->first < base + size)
-            it = _pointers.erase(it);
+        std::vector<Addr> stale;
+        _pointers.forEach([&](Addr addr, std::uint64_t) {
+            if (addr >= base && addr < base + size)
+                stale.push_back(addr);
+        });
+        for (Addr addr : stale)
+            _pointers.erase(addr);
         return Status::ok();
       }
 

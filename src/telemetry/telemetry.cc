@@ -72,6 +72,16 @@ Histogram::record(std::uint64_t value)
     _stat.add(static_cast<double>(value));
 }
 
+void
+Histogram::record(std::uint64_t value, std::uint64_t repeat)
+{
+    if (repeat == 0)
+        return;
+    std::lock_guard<std::mutex> guard(_mutex);
+    _buckets[bucketIndex(value)] += repeat;
+    _stat.addRepeated(static_cast<double>(value), repeat);
+}
+
 std::uint64_t
 Histogram::count() const
 {
@@ -169,7 +179,8 @@ Registry::Registry()
     }
     for (const char *name :
          {"verifier.messages", "verifier.violations",
-          "verifier.syscall_acks", "kernel.syscalls",
+          "verifier.syscall_acks", "verifier.idle_sleeps",
+          "kernel.syscalls",
           "kernel.epoch_timeouts", "ipc.ring_push_fail",
           "ipc.xproc_full_waits", "fpga.messages", "fpga.dropped",
           "vm.instructions", "vm.instrumentation_ops"}) {

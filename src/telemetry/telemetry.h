@@ -134,6 +134,14 @@ class Histogram
     /** Fold one sample (typically nanoseconds) into the histogram. */
     void record(std::uint64_t value);
 
+    /**
+     * Fold `repeat` copies of one sample with a single lock acquisition.
+     * The batched verifier records one amortized per-message latency per
+     * drained batch this way; count still advances by `repeat`, so
+     * message-count semantics are unchanged.
+     */
+    void record(std::uint64_t value, std::uint64_t repeat);
+
     std::uint64_t count() const;
 
     /**
@@ -195,6 +203,51 @@ class Registry
     std::map<std::string, std::unique_ptr<Gauge>> _gauges;
     std::map<std::string, std::unique_ptr<Histogram>> _histograms;
 };
+
+namespace detail {
+
+/** Registry accessor dispatched on metric type (HQ_TELEMETRY_HANDLE). */
+template <typename Metric> Metric &getMetric(const std::string &name);
+
+template <>
+inline Counter &
+getMetric<Counter>(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+template <>
+inline Gauge &
+getMetric<Gauge>(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+template <>
+inline Histogram &
+getMetric<Histogram>(const std::string &name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace detail
+
+/**
+ * Defines a function `fn()` returning a cached reference to the named
+ * metric (`Kind` is Counter, Gauge, or Histogram). The registry lookup
+ * runs once, on first use; hot paths pay only a static-local check.
+ * Use at namespace scope in a .cc file:
+ *
+ *   HQ_TELEMETRY_HANDLE(messagesCounter, Counter, "verifier.messages")
+ */
+#define HQ_TELEMETRY_HANDLE(fn, Kind, metric_name)                        \
+    static ::hq::telemetry::Kind &fn()                                    \
+    {                                                                     \
+        static ::hq::telemetry::Kind &handle =                            \
+            ::hq::telemetry::detail::getMetric<::hq::telemetry::Kind>(    \
+                metric_name);                                             \
+        return handle;                                                    \
+    }
 
 // --- RAII instrumentation helper -------------------------------------
 

@@ -28,6 +28,12 @@ Amr::tryRead(Message &out)
     return _ring.tryPop(out);
 }
 
+std::size_t
+Amr::tryReadBatch(Message *out, std::size_t max_count)
+{
+    return _ring.tryPopBatch(out, max_count);
+}
+
 bool
 Amr::resetRegisters()
 {

@@ -58,6 +58,9 @@ class Amr
     /** Reader-core receive; @return true when a message was dequeued. */
     bool tryRead(Message &out);
 
+    /** Reader-core bulk receive of up to max_count messages in order. */
+    std::size_t tryReadBatch(Message *out, std::size_t max_count);
+
     /**
      * Kernel fault-handler action: reset the register pair to reuse the
      * region. Only legal once the reader has drained all messages.

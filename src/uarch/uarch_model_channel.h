@@ -31,6 +31,7 @@ class UarchModelChannel : public Channel
     Status send(const Message &message) override;
 
     bool tryRecv(Message &out) override;
+    std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override { return _amr.pending(); }
     const ChannelTraits &traits() const override { return _traits; }
 

@@ -45,6 +45,9 @@ struct VerifierProcessStats
 class Verifier : public ProcessEventListener
 {
   public:
+    /** Upper bound on Config::poll_batch (sizes poll()'s stack buffer). */
+    static constexpr std::size_t kMaxPollBatch = 256;
+
     struct Config
     {
         /** Ask the kernel to kill the process on a violation. */
@@ -57,6 +60,14 @@ class Verifier : public ProcessEventListener
          * termination; configurable, §3.4).
          */
         bool kill_on_verifier_exit = false;
+        /**
+         * Messages drained per channel per poll round (clamped to
+         * [1, kMaxPollBatch]). One lock acquisition, one virtual
+         * tryRecvBatch call, and one telemetry scope are amortized over
+         * each batch; the bound doubles as a round-robin fairness cap,
+         * so one busy channel cannot starve the others.
+         */
+        std::size_t poll_batch = 64;
     };
 
     /**
@@ -128,8 +139,23 @@ class Verifier : public ProcessEventListener
         bool exited = false;
     };
 
+    /**
+     * Memo of the last pid -> ProcessEntry resolution. Channels are
+     * per-process, so within one drained batch the hash lookup resolves
+     * once instead of per message. Only valid while _mutex is held
+     * (entry references are stable across insert for unordered_map, but
+     * the memo is conservatively scoped to one locked round anyway).
+     */
+    struct PidMemo
+    {
+        Pid pid = 0;
+        ProcessEntry *entry = nullptr;
+        bool valid = false;
+    };
+
     void eventLoop();
-    void handleMessage(ChannelEntry &entry, const Message &message);
+    void handleMessage(ChannelEntry &entry, const Message &message,
+                       PidMemo &memo);
     void recordViolation(Pid pid, ProcessEntry &process,
                          const std::string &reason);
 

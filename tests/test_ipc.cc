@@ -125,6 +125,175 @@ TEST(SpscRing, ConcurrentProducerConsumer)
     EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRing, BatchPushPopRoundTrip)
+{
+    SpscRing ring(16);
+    Message in[10];
+    for (std::uint64_t i = 0; i < 10; ++i)
+        in[i] = Message(Opcode::EventCount, i, i * 3);
+    EXPECT_EQ(ring.tryPushBatch(in, 10), 10u);
+    EXPECT_EQ(ring.size(), 10u);
+
+    Message out[16];
+    EXPECT_EQ(ring.tryPopBatch(out, 16), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(out[i].arg0, i);
+        EXPECT_EQ(out[i].arg1, i * 3);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BatchPushIsPartialWhenNearlyFull)
+{
+    SpscRing ring(8);
+    Message in[8];
+    for (std::uint64_t i = 0; i < 8; ++i)
+        in[i] = Message(Opcode::EventCount, i);
+    EXPECT_EQ(ring.tryPushBatch(in, 6), 6u);
+    // Only 2 slots remain: the push is partial, not rejected.
+    EXPECT_EQ(ring.tryPushBatch(in + 6, 2), 2u);
+    EXPECT_EQ(ring.tryPushBatch(in, 4), 0u);
+
+    Message out[8];
+    EXPECT_EQ(ring.tryPopBatch(out, 3), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i].arg0, i);
+    EXPECT_EQ(ring.tryPopBatch(out, 8), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i].arg0, i + 3);
+}
+
+TEST(SpscRing, BatchZeroAndEmptyEdges)
+{
+    SpscRing ring(8);
+    Message m;
+    EXPECT_EQ(ring.tryPushBatch(&m, 0), 0u);
+    EXPECT_EQ(ring.tryPopBatch(&m, 0), 0u);
+    EXPECT_EQ(ring.tryPopBatch(&m, 8), 0u); // empty ring
+}
+
+TEST(SpscRing, BatchOpsWrapAroundPreserveOrder)
+{
+    SpscRing ring(8);
+    Message in[5], out[8];
+    std::uint64_t next = 0;
+    // Offset the cursors so every batch straddles the wrap point at
+    // least once over the rounds.
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        for (auto &message : in)
+            message = Message(Opcode::EventCount, next++);
+        ASSERT_EQ(ring.tryPushBatch(in, 5), 5u);
+        ASSERT_EQ(ring.tryPopBatch(out, 8), 5u);
+        for (std::uint64_t i = 0; i < 5; ++i)
+            ASSERT_EQ(out[i].arg0, next - 5 + i);
+    }
+}
+
+TEST(SpscRing, BatchInteroperatesWithSingleOps)
+{
+    SpscRing ring(8);
+    Message in[3], out[8];
+    for (std::uint64_t i = 0; i < 3; ++i)
+        in[i] = Message(Opcode::EventCount, i);
+    ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, 99)));
+    ASSERT_EQ(ring.tryPushBatch(in, 3), 3u);
+    Message single;
+    ASSERT_TRUE(ring.tryPop(single));
+    EXPECT_EQ(single.arg0, 99u);
+    ASSERT_EQ(ring.tryPopBatch(out, 8), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i].arg0, i);
+}
+
+TEST(SpscRing, ConcurrentBatchProducerConsumerNoLossNoReorder)
+{
+    SpscRing ring(256);
+    constexpr std::uint64_t kCount = 400000;
+    constexpr std::size_t kBatch = 32;
+
+    std::thread producer([&] {
+        Message in[kBatch];
+        std::uint64_t sent = 0;
+        while (sent < kCount) {
+            const std::size_t want =
+                kBatch < kCount - sent
+                    ? kBatch
+                    : static_cast<std::size_t>(kCount - sent);
+            for (std::size_t i = 0; i < want; ++i)
+                in[i] = Message(Opcode::EventCount, sent + i);
+            std::size_t pushed = 0;
+            while (pushed < want) {
+                const std::size_t n =
+                    ring.tryPushBatch(in + pushed, want - pushed);
+                if (n == 0)
+                    std::this_thread::yield();
+                pushed += n;
+            }
+            sent += want;
+        }
+    });
+
+    Message out[kBatch];
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+        const std::size_t n = ring.tryPopBatch(out, kBatch);
+        if (n == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(out[i].arg0, expected);
+            ++expected;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ConcurrentMixedSingleAndBatchStress)
+{
+    // Batched producer against a single-message consumer: the cached
+    // cursors on either side must never let a message be lost, repeated,
+    // or reordered regardless of which API moved it.
+    SpscRing ring(64);
+    constexpr std::uint64_t kCount = 200000;
+
+    std::thread producer([&] {
+        Message in[16];
+        std::uint64_t sent = 0;
+        while (sent < kCount) {
+            const std::size_t want =
+                16 < kCount - sent
+                    ? std::size_t{16}
+                    : static_cast<std::size_t>(kCount - sent);
+            for (std::size_t i = 0; i < want; ++i)
+                in[i] = Message(Opcode::EventCount, sent + i);
+            std::size_t pushed = 0;
+            while (pushed < want) {
+                const std::size_t n =
+                    ring.tryPushBatch(in + pushed, want - pushed);
+                if (n == 0)
+                    std::this_thread::yield();
+                pushed += n;
+            }
+            sent += want;
+        }
+    });
+
+    Message out;
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+        if (ring.tryPop(out)) {
+            ASSERT_EQ(out.arg0, expected);
+            ++expected;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
 TEST(SpscRing, OverwritePendingModelsShmCorruption)
 {
     SpscRing ring(8);
@@ -176,6 +345,45 @@ TEST_P(ChannelConformance, RoundTripInOrder)
         }
     }
     sender.join();
+    EXPECT_EQ(channel->pending(), 0u);
+}
+
+TEST_P(ChannelConformance, BatchRecvDrainsInOrder)
+{
+    if (GetParam() == ChannelKind::PosixMq && !MqChannel::supported())
+        GTEST_SKIP() << "POSIX message queues unavailable on this host";
+
+    // Every channel kind must honor the bulk-recv contract, whether it
+    // overrides tryRecvBatch (ring-backed kinds) or inherits the
+    // single-pop default (syscall kinds).
+    auto channel = makeChannel(GetParam(), 1 << 10);
+    constexpr std::uint64_t kCount = 300;
+    std::thread sender([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            ASSERT_TRUE(
+                channel->send(Message(Opcode::EventCount, i, i + 7))
+                    .isOk());
+        }
+    });
+
+    Message out[64];
+    EXPECT_EQ(channel->tryRecvBatch(out, 0), 0u);
+    std::uint64_t received = 0;
+    while (received < kCount) {
+        const std::size_t n = channel->tryRecvBatch(out, 64);
+        ASSERT_LE(n, 64u);
+        if (n == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i].arg0, received);
+            EXPECT_EQ(out[i].arg1, received + 7);
+            ++received;
+        }
+    }
+    sender.join();
+    EXPECT_EQ(channel->tryRecvBatch(out, 64), 0u);
     EXPECT_EQ(channel->pending(), 0u);
 }
 

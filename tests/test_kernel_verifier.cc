@@ -318,6 +318,167 @@ TEST(Verifier, NoKillOnExitByDefault)
     EXPECT_FALSE(fx.kernel.isKilled(1));
 }
 
+// ---------------------------------------------------------------------
+// Batched draining: the fast path must be invisible to the semantics.
+// ---------------------------------------------------------------------
+
+TEST(Verifier, SyscallAckOnlyAfterEarlierMessagesUnderBatching)
+{
+    // A DEFINE, a matching CHECK, and a Syscall sync all land in one
+    // drained batch: the ack must reflect the fully-processed prefix
+    // (the CHECK passes only if the DEFINE ran first), proving in-order
+    // processing inside a batch.
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy); // default poll_batch = 64
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    for (int i = 0; i < 20; ++i)
+        channel.send(Message(Opcode::PointerDefine, 0x1000 + 8 * i, i));
+    for (int i = 0; i < 20; ++i)
+        channel.send(Message(Opcode::PointerCheck, 0x1000 + 8 * i, i));
+    channel.send(Message(Opcode::Syscall, 1));
+    EXPECT_EQ(verifier.poll(), 41u);
+    EXPECT_FALSE(verifier.hasViolation(1));
+    EXPECT_EQ(verifier.statsFor(1).syscall_acks, 1u);
+    EXPECT_TRUE(fx.kernel.syscallEnter(1, 1).isOk());
+}
+
+TEST(Verifier, ViolationBeforeSyscallInSameBatchSuppressesAck)
+{
+    // The violating CHECK and the attacker-forged Syscall sync arrive in
+    // the same batch; the ack must still be suppressed.
+    VerifierFixture fx;
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerCheck, 0x666, 0x1)); // violation
+    channel.send(Message(Opcode::Syscall, 1));
+    verifier.poll();
+    EXPECT_EQ(verifier.statsFor(1).syscall_acks, 0u);
+    EXPECT_FALSE(fx.kernel.syscallEnter(1, 1).isOk());
+}
+
+TEST(Verifier, PollBatchOneMatchesDefaultSemantics)
+{
+    // Degenerate single-message batches must behave identically.
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    config.poll_batch = 1;
+    Verifier verifier(fx.kernel, fx.policy, config);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    channel.send(Message(Opcode::PointerCheck, 0x100, 0xBB)); // corrupt
+    channel.send(Message(Opcode::Syscall, 1));
+    EXPECT_EQ(verifier.poll(), 3u);
+    EXPECT_TRUE(verifier.hasViolation(1));
+    EXPECT_EQ(verifier.statsFor(1).messages, 3u);
+    EXPECT_EQ(verifier.statsFor(1).syscall_acks, 1u); // not killing
+}
+
+TEST(Verifier, PollBatchConfigIsClamped)
+{
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.poll_batch = 0; // clamped up to 1
+    Verifier verifier(fx.kernel, fx.policy, config);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    EXPECT_EQ(verifier.poll(), 1u);
+
+    Verifier::Config huge;
+    huge.poll_batch = 1 << 20; // clamped down to kMaxPollBatch
+    Verifier clamped(fx.kernel, fx.policy, huge);
+    ShmChannel channel2(1 << 10);
+    clamped.attachChannel(&channel2, 1);
+    for (int i = 0; i < 600; ++i)
+        channel2.send(Message(Opcode::PointerDefine, 0x1000 + 8 * i, i));
+    EXPECT_EQ(clamped.poll(), 600u);
+}
+
+TEST(Verifier, RoundRobinDrainsBothChannelsFairly)
+{
+    // Two busy channels for two processes: a full poll must drain both
+    // regardless of attach order (the per-round batch cap prevents the
+    // first channel from starving the second).
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.poll_batch = 8;
+    Verifier verifier(fx.kernel, fx.policy, config);
+    ShmChannel first(1 << 10), second(1 << 10);
+    verifier.attachChannel(&first, 1);
+    verifier.attachChannel(&second, 2);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    ASSERT_TRUE(fx.kernel.enableProcess(2).isOk());
+
+    for (int i = 0; i < 100; ++i) {
+        first.send(Message(Opcode::PointerDefine, 0x1000 + 8 * i, i));
+        second.send(Message(Opcode::PointerDefine, 0x9000 + 8 * i, i));
+    }
+    EXPECT_EQ(verifier.poll(), 200u);
+    EXPECT_EQ(verifier.statsFor(1).messages, 100u);
+    EXPECT_EQ(verifier.statsFor(2).messages, 100u);
+}
+
+TEST(Verifier, SequenceGapDetectedUnderBatchedDrain)
+{
+    // Same integrity property as SequenceGapIsIntegrityViolation, but
+    // with drops and the gap-exposing message drained in single batched
+    // polls: batching must not mask a sequence gap.
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.check_sequence = true;
+    config.kill_on_violation = false;
+    config.poll_batch = Verifier::kMaxPollBatch;
+    Verifier verifier(fx.kernel, fx.policy, config);
+
+    FpgaConfig fpga_config;
+    fpga_config.host_buffer_messages = 4;
+    fpga_config.model_latency = false;
+    FpgaChannel channel(fpga_config);
+    channel.afu().setPidRegister(1);
+    verifier.attachChannel(&channel, 1, /*device_stamped=*/true);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+
+    for (int i = 0; i < 8; ++i)
+        channel.send(Message(Opcode::Heartbeat, i)); // overrun: drops
+    verifier.poll(); // whole surviving prefix drains as ONE batch
+    EXPECT_FALSE(verifier.hasViolation(1));
+    channel.send(Message(Opcode::Heartbeat, 99)); // exposes the gap
+    verifier.poll();
+    EXPECT_TRUE(verifier.hasViolation(1));
+}
+
+TEST(Verifier, BatchSpanningMultipleProcessesUsesRightContext)
+{
+    // The pid memo must not leak one process's context into another's
+    // messages when a drain alternates between channels.
+    VerifierFixture fx;
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    Verifier verifier(fx.kernel, fx.policy, config);
+    ShmChannel one(64), two(64);
+    verifier.attachChannel(&one, 1);
+    verifier.attachChannel(&two, 2);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    ASSERT_TRUE(fx.kernel.enableProcess(2).isOk());
+
+    one.send(Message(Opcode::PointerDefine, 0x100, 0xAA));
+    two.send(Message(Opcode::PointerCheck, 0x100, 0xAA)); // undefined for 2
+    verifier.poll();
+    EXPECT_FALSE(verifier.hasViolation(1));
+    EXPECT_TRUE(verifier.hasViolation(2)); // use-after-free for pid 2
+}
+
 TEST(Verifier, MaxEntriesTracksPolicyMetadata)
 {
     VerifierFixture fx;

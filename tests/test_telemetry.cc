@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -190,6 +191,27 @@ TEST(RunningStatWelford, DegenerateCases)
     EXPECT_DOUBLE_EQ(stat.variance(), 0.0); // identical samples
 }
 
+TEST(RunningStatWelford, AddRepeatedMatchesLoopedAdds)
+{
+    // The batched fast path merges n identical samples in O(1); the
+    // moments must match feeding them one at a time exactly.
+    RunningStat looped, merged;
+    looped.add(3.0);
+    looped.add(9.0);
+    merged.add(3.0);
+    merged.add(9.0);
+    for (int i = 0; i < 41; ++i)
+        looped.add(100.0);
+    merged.addRepeated(100.0, 41);
+    EXPECT_EQ(merged.count(), looped.count());
+    EXPECT_NEAR(merged.mean(), looped.mean(), 1e-9);
+    EXPECT_NEAR(merged.stddev(), looped.stddev(), 1e-9);
+
+    RunningStat noop;
+    noop.addRepeated(5.0, 0); // zero repeats: no effect
+    EXPECT_EQ(noop.count(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------
@@ -257,6 +279,31 @@ TEST(Histogram, PercentilesAreMonotoneAndBracketed)
     EXPECT_GE(hist.percentile(50), 256.0);
     EXPECT_LE(hist.percentile(50), 1000.0);
     EXPECT_NEAR(hist.mean(), 500.5, 1e-9);
+}
+
+TEST(Histogram, BatchedRecordMatchesRepeatedSingles)
+{
+    // One lock, n-message semantics: count, buckets, and moments must be
+    // indistinguishable from n single records.
+    Histogram batched, looped;
+    batched.record(100, 7);
+    for (int i = 0; i < 7; ++i)
+        looped.record(100);
+    batched.record(5000, 3);
+    for (int i = 0; i < 3; ++i)
+        looped.record(5000);
+
+    EXPECT_EQ(batched.count(), looped.count());
+    EXPECT_EQ(batched.count(), 10u);
+    EXPECT_EQ(batched.buckets(), looped.buckets());
+    EXPECT_DOUBLE_EQ(batched.mean(), looped.mean());
+    EXPECT_DOUBLE_EQ(batched.min(), looped.min());
+    EXPECT_DOUBLE_EQ(batched.max(), looped.max());
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(batched.percentile(p), looped.percentile(p));
+
+    batched.record(1, 0); // zero repeat: no effect
+    EXPECT_EQ(batched.count(), 10u);
 }
 
 // ---------------------------------------------------------------------
@@ -426,6 +473,27 @@ TEST(VerifierIntegration, SyscallPauseHistogramPopulatedByMonitoredRun)
     auto &pause = registry.histogram("kernel.syscall_pause_ns");
     EXPECT_GE(pause.percentile(99), pause.percentile(50));
     EXPECT_LE(pause.percentile(99), pause.max());
+}
+
+TEST(VerifierIntegration, IdleEventLoopBacksOffToSleep)
+{
+    TelemetryOn on;
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy);
+    ShmChannel channel(64);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(kernel.enableProcess(1).isOk());
+
+    auto &counter = Registry::instance().counter("verifier.idle_sleeps");
+    const std::uint64_t before = counter.value();
+    verifier.start();
+    // No traffic: after the bounded spin window the loop must start
+    // sleeping rather than burning the core.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    verifier.stop();
+    EXPECT_GT(counter.value(), before);
 }
 
 } // namespace
