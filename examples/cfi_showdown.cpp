@@ -11,13 +11,15 @@
 #include <vector>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 #include "workloads/ripe.h"
 
 using namespace hq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Off);
 
     const std::vector<RipeAttack> attacks = {

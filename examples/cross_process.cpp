@@ -8,29 +8,44 @@
  * store at all.
  *
  * Build: cmake --build build && ./build/examples/cross_process
+ *
+ * Two modes:
+ *  - default: the original one-shot demo (3 messages, 1 violation).
+ *  - --duration=SECS: streaming mode. The parent runs a real Verifier +
+ *    KernelModule and the child emits pointer-integrity traffic for
+ *    SECS seconds, ending with a deliberate corruption. Combine with
+ *    the shared observability flags to watch it live:
+ *
+ *      ./cross_process --duration=30 --statsboard &
+ *      ./hq_stat --watch
+ *
+ *    plus --telemetry-out=FILE / --event-log=FILE for the exit dump
+ *    and the structured violation log.
  */
 
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "common/log.h"
 #include "ipc/xproc_ring.h"
+#include "kernel/kernel.h"
 #include "policy/pointer_integrity.h"
+#include "telemetry/telemetry.h"
+#include "verifier/verifier.h"
 
 using namespace hq;
 
-int
-main()
-{
-    setLogLevel(LogLevel::Error);
-    XprocChannel channel(1 << 10);
-    if (!channel.valid()) {
-        std::printf("shared mapping unavailable; skipping\n");
-        return 0;
-    }
+namespace {
 
+/** The original single-shot demo: manual context, 3 messages. */
+int
+runOneShot(XprocChannel &channel)
+{
     const pid_t child = fork();
     if (child == 0) {
         // ----- monitored process ------------------------------------
@@ -72,4 +87,92 @@ main()
                       "boundary"
                     : "UNEXPECTED RESULT");
     return violations == 1 ? 0 : 1;
+}
+
+/**
+ * Streaming mode: a full parent-side verifier pipeline processing a
+ * sustained message stream from the forked child, so the statsboard,
+ * lag histograms, and event log have live data to show.
+ */
+int
+runStreaming(XprocChannel &channel, long duration_secs)
+{
+    const pid_t child = fork();
+    if (child == 0) {
+        // ----- monitored process ------------------------------------
+        // Steady pointer-integrity traffic: define once, check in
+        // bursts, yield between bursts so the run lasts the requested
+        // wall time instead of saturating the ring.
+        channel.send(Message(Opcode::PointerDefine, 0x1000, 0xAAAA));
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::seconds(duration_secs);
+        while (std::chrono::steady_clock::now() < deadline) {
+            for (int i = 0; i < 64; ++i)
+                channel.send(Message(Opcode::PointerCheck, 0x1000,
+                                     0xAAAA));
+            usleep(1000);
+        }
+        // Finale: the "exploit" corrupts the pointer, then a syscall
+        // forces synchronization so nothing is left in flight.
+        channel.send(Message(Opcode::PointerCheck, 0x1000, 0xBADBAD));
+        channel.send(Message(Opcode::Syscall, 59));
+        _exit(0);
+    }
+
+    // ----- verifier process ------------------------------------------
+    const Pid pid = static_cast<Pid>(child);
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false; // count, don't kill (§5 style)
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(pid);
+    verifier.attachChannel(&channel, pid);
+    verifier.start();
+
+    int wstatus = 0;
+    waitpid(child, &wstatus, 0);
+    // Drain whatever the child left in the ring before stopping.
+    verifier.stop();
+    kernel.exitProcess(pid);
+
+    const VerifierProcessStats stats = verifier.statsFor(pid);
+    std::printf("cross-process HerQules demo (streaming %lds)\n",
+                duration_secs);
+    std::printf("  child pid %d, messages %llu, violations %llu, "
+                "syscall acks %llu\n",
+                child,
+                static_cast<unsigned long long>(stats.messages),
+                static_cast<unsigned long long>(stats.violations),
+                static_cast<unsigned long long>(stats.syscall_acks));
+    std::printf("  -> %s\n",
+                stats.violations == 1
+                    ? "corruption detected across a real process "
+                      "boundary"
+                    : "UNEXPECTED RESULT");
+    return stats.violations == 1 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    telemetry::handleBenchArgs(argc, argv);
+    setLogLevel(LogLevel::Error);
+
+    long duration_secs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--duration=", 11) == 0)
+            duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
+    }
+
+    XprocChannel channel(1 << 10);
+    if (!channel.valid()) {
+        std::printf("shared mapping unavailable; skipping\n");
+        return 0;
+    }
+    return duration_secs > 0 ? runStreaming(channel, duration_secs)
+                             : runOneShot(channel);
 }

@@ -9,8 +9,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 #include "workloads/runner.h"
 
 using namespace hq;
@@ -18,6 +20,7 @@ using namespace hq;
 int
 main(int argc, char **argv)
 {
+    telemetry::handleBenchArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 1.0;

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Analyze HerQules telemetry dumps and structured event logs.
+
+Two modes:
+
+  report FILE...
+      Human-readable verification-lag / latency report for one or more
+      `--telemetry-out` JSON dumps (and `--event-log` JSONL files, whose
+      records are tallied by type).
+
+  summary DIR [-o OUT.json]
+      Scan DIR for `*.telemetry.json` and `*.events.jsonl` and write one
+      machine-readable summary (default BENCH_summary.json in DIR):
+
+      {
+        "schema": "hq-bench-summary/1",
+        "benches": {
+          "<name>": {
+            "messages": N, "violations": N,
+            "lag_ns": {"count": N, "p50": x, "p90": x, "p99": x,
+                        "mean": x, "max": x},
+            "msg_latency_ns": {...},
+            "lag_slo_breaches": N, "lag_stamp_dropped": N,
+            "events": {"violation": N, "seq_gap": N, ...}
+          }
+        }
+      }
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+LAG_HIST = "verifier.lag_ns"
+LATENCY_HIST = "verifier.msg_latency_ns"
+HIST_FIELDS = ("count", "mean", "min", "max", "p50", "p90", "p99")
+
+
+def load_dump(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_events(path):
+    """Parse a JSONL event log into a list of dicts (bad lines fatal)."""
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{path}:{lineno}: bad JSONL record: {exc}")
+    return records
+
+
+def hist_summary(dump, name):
+    hist = dump.get("metrics", {}).get("histograms", {}).get(name)
+    if not hist or not hist.get("count"):
+        return None
+    return {field: hist[field] for field in HIST_FIELDS if field in hist}
+
+
+def counter(dump, name):
+    return dump.get("metrics", {}).get("counters", {}).get(name, 0)
+
+
+def event_tally(records):
+    tally = {}
+    for record in records:
+        kind = record.get("type", "unknown")
+        tally[kind] = tally.get(kind, 0) + 1
+    return tally
+
+
+def fmt_ns(value):
+    if value < 1e3:
+        return f"{value:.0f}ns"
+    if value < 1e6:
+        return f"{value / 1e3:.1f}us"
+    if value < 1e9:
+        return f"{value / 1e6:.2f}ms"
+    return f"{value / 1e9:.2f}s"
+
+
+def cmd_report(args):
+    for path in args.files:
+        if path.endswith(".jsonl"):
+            records = load_events(path)
+            print(f"{path}: {len(records)} events")
+            for kind, count in sorted(event_tally(records).items()):
+                print(f"  {kind:16s} {count}")
+            lags = [r["lag_ns"] for r in records if r.get("lag_ns")]
+            if lags:
+                lags.sort()
+                print(f"  event lag: median {fmt_ns(lags[len(lags) // 2])}"
+                      f"  max {fmt_ns(lags[-1])}")
+            continue
+
+        dump = load_dump(path)
+        print(f"{path}:")
+        for name in (LAG_HIST, LATENCY_HIST, "kernel.syscall_pause_ns"):
+            summary = hist_summary(dump, name)
+            if summary is None:
+                continue
+            print(f"  {name:28s} n={summary['count']:<10}"
+                  f" p50 {fmt_ns(summary['p50'])}"
+                  f"  p90 {fmt_ns(summary['p90'])}"
+                  f"  p99 {fmt_ns(summary['p99'])}"
+                  f"  max {fmt_ns(summary['max'])}")
+        # Per-pid lag rows, if any.
+        hists = dump.get("metrics", {}).get("histograms", {})
+        for name in sorted(hists):
+            if name.startswith(LAG_HIST + ".pid_"):
+                summary = hist_summary(dump, name)
+                print(f"  {name:28s} n={summary['count']:<10}"
+                      f" p50 {fmt_ns(summary['p50'])}"
+                      f"  p99 {fmt_ns(summary['p99'])}")
+        breaches = counter(dump, "verifier.lag_slo_breaches")
+        drops = counter(dump, "ipc.lag_stamp_dropped")
+        print(f"  slo breaches {breaches}, stamp drops {drops}")
+    return 0
+
+
+def cmd_summary(args):
+    benches = {}
+    for entry in sorted(os.listdir(args.dir)):
+        path = os.path.join(args.dir, entry)
+        if entry.endswith(".telemetry.json"):
+            name = entry[: -len(".telemetry.json")]
+            dump = load_dump(path)
+            bench = benches.setdefault(name, {})
+            bench["messages"] = counter(dump, "verifier.messages")
+            bench["violations"] = counter(dump, "verifier.violations")
+            bench["lag_slo_breaches"] = counter(
+                dump, "verifier.lag_slo_breaches")
+            bench["lag_stamp_dropped"] = counter(
+                dump, "ipc.lag_stamp_dropped")
+            for key, hist in ((("lag_ns"), LAG_HIST),
+                              (("msg_latency_ns"), LATENCY_HIST)):
+                summary = hist_summary(dump, hist)
+                if summary is not None:
+                    bench[key] = summary
+        elif entry.endswith(".events.jsonl"):
+            name = entry[: -len(".events.jsonl")]
+            benches.setdefault(name, {})["events"] = event_tally(
+                load_events(path))
+
+    summary = {"schema": "hq-bench-summary/1", "benches": benches}
+    out = args.output or os.path.join(args.dir, "BENCH_summary.json")
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out} ({len(benches)} benches)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    report = sub.add_parser("report", help="human-readable lag report")
+    report.add_argument("files", nargs="+",
+                        help="telemetry .json dumps / .jsonl event logs")
+    report.set_defaults(func=cmd_report)
+
+    summary = sub.add_parser("summary",
+                             help="write machine-readable BENCH_summary")
+    summary.add_argument("dir", help="directory of *.telemetry.json")
+    summary.add_argument("-o", "--output", default=None)
+    summary.set_defaults(func=cmd_summary)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

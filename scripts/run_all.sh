@@ -23,10 +23,17 @@ RESULTS_DIR="$ROOT/bench/results"
 mkdir -p "$RESULTS_DIR"
 for b in "$BUILD_DIR"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
     echo "===== $b ====="
-    "$b" --telemetry-out="$RESULTS_DIR/$(basename "$b").telemetry.json"
+    "$b" --telemetry-out="$RESULTS_DIR/$name.telemetry.json" \
+         --event-log="$RESULTS_DIR/$name.events.jsonl"
 done 2>&1 | tee bench_output.txt
 echo "Telemetry dumps: $RESULTS_DIR"
+
+# Machine-readable roll-up of every dump + event log (lag percentiles,
+# violation tallies) for dashboards and CI artifact diffing.
+python3 "$ROOT/scripts/analyze_telemetry.py" summary "$RESULTS_DIR" \
+    -o "$ROOT/BENCH_summary.json"
 
 # Artifact-style CSVs (per-benchmark rows).
 "$BUILD_DIR"/bench/table4_correctness 0.02 table4_out.csv > /dev/null

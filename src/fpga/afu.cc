@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "ipc/message.h"
+#include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
 
 namespace hq {
@@ -90,6 +92,17 @@ FpgaAfu::mmioWrite(std::uint32_t offset, std::uint64_t data)
             _dropped.fetch_add(1, std::memory_order_relaxed);
             if (telemetry::enabled())
                 droppedCounter().inc();
+            if (telemetry::EventLog::instance().active()) {
+                telemetry::EventRecord record;
+                record.type = telemetry::EventType::RingDrop;
+                record.pid = message.pid;
+                record.op = opcodeName(message.op);
+                record.arg0 = message.arg0;
+                record.arg1 = message.arg1;
+                record.seq = message.seq;
+                record.reason = "FPGA host buffer full";
+                telemetry::EventLog::instance().append(record);
+            }
         } else if (telemetry::enabled()) {
             messagesCounter().inc();
         }

@@ -10,7 +10,7 @@ FpgaChannel::FpgaChannel(const FpgaConfig &config)
 }
 
 Status
-FpgaChannel::send(const Message &message)
+FpgaChannel::sendImpl(const Message &message)
 {
     const std::uint32_t commit_reg =
         FpgaAfu::kRegCommitBase +

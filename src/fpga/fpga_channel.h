@@ -22,7 +22,7 @@ class FpgaChannel : public Channel
   public:
     explicit FpgaChannel(const FpgaConfig &config = FpgaConfig());
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override { return _afu.hostPending(); }

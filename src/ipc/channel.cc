@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Template-method send() wrapper: lag stamping and flow-event emission
+ * shared by every channel transport.
+ */
+
+#include "ipc/channel.h"
+
+#include <atomic>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace hq {
+
+namespace {
+
+/**
+ * Default private sidecar capacity. Sized to cover several verifier
+ * poll batches (kMaxPollBatch = 256) of in-flight messages; envelopes
+ * beyond this are dropped (counted), never blocked on.
+ */
+constexpr std::size_t kDefaultLagCapacity = 4096;
+
+HQ_TELEMETRY_HANDLE(stampDropped, Counter, "ipc.lag_stamp_dropped")
+
+std::uint32_t
+nextChannelId()
+{
+    static std::atomic<std::uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+Channel::Channel() : _channel_id(nextChannelId()) {}
+
+Status
+Channel::send(const Message &message)
+{
+    if (!telemetry::enabled()) {
+        Status status = sendImpl(message);
+        // Keep the sidecar sequence aligned with delivered-message
+        // count even while disabled, so a mid-run enable produces
+        // matchable envelopes instead of permanently stale ones.
+        if (status.isOk())
+            ++_send_count;
+        return status;
+    }
+
+    const std::uint64_t enqueue_ns = telemetry::monotonicRawNs();
+    telemetry::TraceScope scope("ipc.send");
+    Status status = sendImpl(message);
+    if (status.isOk()) {
+        const std::uint64_t seq = _send_count++;
+        if (!_lag)
+            _lag = std::make_unique<telemetry::LagSidecar>(
+                kDefaultLagCapacity);
+        if (!_lag->stamp(seq, enqueue_ns))
+            stampDropped().inc();
+        telemetry::traceFlowBegin("lag", lagFlowId(_channel_id, seq));
+    }
+    return status;
+}
+
+} // namespace hq

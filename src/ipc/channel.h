@@ -12,11 +12,13 @@
 #ifndef HQ_IPC_CHANNEL_H
 #define HQ_IPC_CHANNEL_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "ipc/message.h"
+#include "telemetry/lag.h"
 
 namespace hq {
 
@@ -33,14 +35,23 @@ struct ChannelTraits
  * Bidirectional endpoint pair abstraction: the monitored program calls
  * send(); the verifier calls tryRecv(). Implementations are safe for one
  * concurrent sender thread and one concurrent receiver thread.
+ *
+ * send() is a template method: the public entry point stamps each
+ * message's enqueue time into a per-channel lag sidecar (and emits a
+ * Perfetto flow-begin event) when telemetry is enabled, then forwards
+ * to the transport-specific sendImpl(). The wire Message format is
+ * untouched (§3.1); the envelope travels beside the queue, and the
+ * verifier turns it into per-message verification-lag histograms.
+ * Disabled runs pay one relaxed atomic load + branch.
  */
 class Channel
 {
   public:
+    Channel();
     virtual ~Channel() = default;
 
     /** Transmit one message; may block when the transport is full. */
-    virtual Status send(const Message &message) = 0;
+    Status send(const Message &message);
 
     /**
      * Receive the next message if one is available.
@@ -67,7 +78,53 @@ class Channel
 
     /** Static channel properties. */
     virtual const ChannelTraits &traits() const = 0;
+
+    /**
+     * Process-unique channel id (monotonic, from 1). The upper half of
+     * the 64-bit Perfetto flow-event id, so flows from distinct
+     * channels never collide even when sequences do.
+     */
+    std::uint32_t channelId() const { return _channel_id; }
+
+    /**
+     * The lag sidecar paired with this channel, or nullptr when no
+     * message has been stamped yet (telemetry disabled). The verifier
+     * matches envelopes by sequence number, so a null or partially
+     * populated sidecar degrades to "no lag sample", never a wrong one.
+     */
+    telemetry::LagSidecar *lagSidecar() const { return _lag.get(); }
+
+    /** Messages stamped through send() so far (the sidecar sequence). */
+    std::uint64_t sendCount() const { return _send_count; }
+
+  protected:
+    /** Transport-specific transmit; called by the send() wrapper. */
+    virtual Status sendImpl(const Message &message) = 0;
+
+    /**
+     * Replace the default private sidecar with an externally backed
+     * one (XprocChannel: a region inside its shared mapping, so the
+     * parent's verifier can read envelopes the child stamped).
+     * Call before the first send().
+     */
+    void installLagSidecar(std::unique_ptr<telemetry::LagSidecar> sidecar)
+    {
+        _lag = std::move(sidecar);
+    }
+
+  private:
+    std::uint32_t _channel_id;
+    std::uint64_t _send_count = 0;
+    std::unique_ptr<telemetry::LagSidecar> _lag;
 };
+
+/** Perfetto flow-event id for (channel, sequence). */
+inline std::uint64_t
+lagFlowId(std::uint32_t channel_id, std::uint64_t seq)
+{
+    return (static_cast<std::uint64_t>(channel_id) << 32) |
+           (seq & 0xffffffffu);
+}
 
 /** The channel kinds evaluated in Table 2 and Figures 3-4. */
 enum class ChannelKind {

@@ -74,7 +74,7 @@ MqChannel::supported()
 }
 
 Status
-MqChannel::send(const Message &message)
+MqChannel::sendImpl(const Message &message)
 {
     if (_send_queue == static_cast<mqd_t>(-1))
         return Status::error(StatusCode::Unavailable, "mq not open");
@@ -143,7 +143,7 @@ PipeChannel::~PipeChannel()
 }
 
 Status
-PipeChannel::send(const Message &message)
+PipeChannel::sendImpl(const Message &message)
 {
     if (_write_fd < 0)
         return Status::error(StatusCode::Unavailable, "pipe not open");
@@ -210,7 +210,7 @@ SocketChannel::~SocketChannel()
 }
 
 Status
-SocketChannel::send(const Message &message)
+SocketChannel::sendImpl(const Message &message)
 {
     if (_send_fd < 0)
         return Status::error(StatusCode::Unavailable, "socket not open");

@@ -26,7 +26,7 @@ class MqChannel : public Channel
     /** True when the host supports POSIX message queues. */
     static bool supported();
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t pending() const override;
     const ChannelTraits &traits() const override { return _traits; }
@@ -45,7 +45,7 @@ class PipeChannel : public Channel
     PipeChannel();
     ~PipeChannel() override;
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t pending() const override;
     const ChannelTraits &traits() const override { return _traits; }
@@ -63,7 +63,7 @@ class SocketChannel : public Channel
     SocketChannel();
     ~SocketChannel() override;
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t pending() const override;
     const ChannelTraits &traits() const override { return _traits; }

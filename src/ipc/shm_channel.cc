@@ -12,7 +12,7 @@ ShmChannel::ShmChannel(std::size_t capacity)
 }
 
 Status
-ShmChannel::send(const Message &message)
+ShmChannel::sendImpl(const Message &message)
 {
     while (!_ring.tryPush(message))
         std::this_thread::yield();

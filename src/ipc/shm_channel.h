@@ -22,7 +22,7 @@ class ShmChannel : public Channel
   public:
     explicit ShmChannel(std::size_t capacity);
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override { return _ring.size(); }

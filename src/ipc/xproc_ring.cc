@@ -25,7 +25,15 @@ XprocChannel::XprocChannel(std::size_t min_capacity)
 {
     const std::size_t capacity = roundUpPow2(min_capacity ? min_capacity
                                                           : 1);
-    _map_bytes = sizeof(XprocRingRegion) + capacity * sizeof(Message);
+    // The lag sidecar shares the mapping: the child process stamps
+    // enqueue times into it and the parent's verifier reads them, so it
+    // must live behind the same fork-shared pages as the message ring.
+    // Its region starts 64-byte aligned after the message slots.
+    const std::size_t ring_bytes =
+        sizeof(XprocRingRegion) + capacity * sizeof(Message);
+    const std::size_t sidecar_offset = (ring_bytes + 63) & ~std::size_t{63};
+    _map_bytes =
+        sidecar_offset + telemetry::LagSidecar::regionBytes(capacity);
     void *mapping = ::mmap(nullptr, _map_bytes, PROT_READ | PROT_WRITE,
                            MAP_SHARED | MAP_ANONYMOUS, -1, 0);
     if (mapping == MAP_FAILED) {
@@ -36,6 +44,9 @@ XprocChannel::XprocChannel(std::size_t min_capacity)
     _region->tail.store(0, std::memory_order_relaxed);
     _region->head.store(0, std::memory_order_relaxed);
     _region->capacity = capacity;
+    installLagSidecar(std::make_unique<telemetry::LagSidecar>(
+        static_cast<unsigned char *>(mapping) + sidecar_offset, capacity,
+        /*initialize=*/true));
 }
 
 XprocChannel::~XprocChannel()
@@ -45,7 +56,7 @@ XprocChannel::~XprocChannel()
 }
 
 Status
-XprocChannel::send(const Message &message)
+XprocChannel::sendImpl(const Message &message)
 {
     if (!_region)
         return Status::error(StatusCode::Unavailable, "no mapping");

@@ -54,7 +54,7 @@ class XprocChannel : public Channel
     /** True when the mapping was created successfully. */
     bool valid() const { return _region != nullptr; }
 
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
     std::size_t pending() const override;

@@ -1,6 +1,7 @@
 #include "kernel/kernel.h"
 
 #include "common/log.h"
+#include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -167,6 +168,15 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
             ++context->stats.epoch_timeouts;
             if (telemetry::enabled())
                 epochTimeoutsCounter().inc();
+            if (telemetry::EventLog::instance().active()) {
+                telemetry::EventRecord record;
+                record.type = telemetry::EventType::EpochTimeout;
+                record.pid = pid;
+                record.op = "Syscall";
+                record.arg0 = static_cast<std::uint64_t>(sysno);
+                record.reason = "synchronization epoch expired";
+                telemetry::EventLog::instance().append(record);
+            }
             context->killed = true;
             context->kill_reason = "synchronization epoch expired";
             logWarn("kernel: epoch expired for pid ", pid, " at syscall ",

@@ -1,0 +1,123 @@
+#include "telemetry/event_log.h"
+
+#include <chrono>
+
+#include "telemetry/telemetry.h"
+
+namespace hq {
+namespace telemetry {
+
+namespace {
+
+HQ_TELEMETRY_HANDLE(recordsCounter, Counter, "eventlog.records")
+
+} // namespace
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Violation:
+        return "violation";
+      case EventType::SeqGap:
+        return "seq_gap";
+      case EventType::EpochTimeout:
+        return "epoch_timeout";
+      case EventType::RingDrop:
+        return "ring_drop";
+    }
+    return "unknown";
+}
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog log;
+    return log;
+}
+
+bool
+EventLog::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    if (_out.is_open())
+        _out.close();
+    _out.open(path, std::ios::trunc);
+    const bool ok = _out.is_open();
+    _recorded.store(0, std::memory_order_relaxed);
+    _active.store(ok, std::memory_order_relaxed);
+    return ok;
+}
+
+void
+EventLog::close()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _active.store(false, std::memory_order_relaxed);
+    if (_out.is_open()) {
+        _out.flush();
+        _out.close();
+    }
+}
+
+namespace {
+
+/** Escape the reason string for embedding in a JSON literal. */
+void
+appendEscaped(std::ofstream &out, const std::string &text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out << c;
+        }
+    }
+}
+
+} // namespace
+
+void
+EventLog::append(const EventRecord &record)
+{
+    if (!active())
+        return;
+    const auto wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const std::uint64_t ts_ns = nowNs();
+
+    std::lock_guard<std::mutex> guard(_mutex);
+    if (!_out.is_open())
+        return;
+    _out << "{\"type\":\"" << eventTypeName(record.type)
+         << "\",\"ts_wall_ms\":" << wall_ms << ",\"ts_ns\":" << ts_ns
+         << ",\"pid\":" << record.pid << ",\"op\":\"";
+    appendEscaped(_out, record.op);
+    _out << "\",\"arg0\":" << record.arg0 << ",\"arg1\":" << record.arg1
+         << ",\"seq\":" << record.seq << ",\"lag_ns\":" << record.lag_ns
+         << ",\"reason\":\"";
+    appendEscaped(_out, record.reason);
+    _out << "\"}\n";
+    // Flush per record: violations usually precede a kill, and a
+    // truncated audit line defeats the log's purpose.
+    _out.flush();
+    _recorded.fetch_add(1, std::memory_order_relaxed);
+    recordsCounter().inc();
+}
+
+} // namespace telemetry
+} // namespace hq

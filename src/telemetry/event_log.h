@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structured JSONL audit stream — the machine-readable counterpart of
+ * the paper's correctness evidence (Tables 4/5).
+ *
+ * When opened (`--event-log=FILE`), every security-relevant event is
+ * appended as one self-contained JSON object per line: policy
+ * violations, message-sequence gaps (FPGA integrity check),
+ * synchronization-epoch timeouts (§3.3), and ring drops (the AFU has no
+ * back-pressure). Each record carries the pid, opcode and arguments of
+ * the offending message where one exists, the measured verification
+ * lag, and both wall-clock and monotonic timestamps, so a run's
+ * violation log can be joined against its telemetry trace.
+ *
+ * The log is inert until opened: producers pay one relaxed atomic load.
+ * Appends are mutex-serialized (violations are rare by construction —
+ * a monitored program is killed or already compromised when they
+ * fire), and the stream is flushed per record so a killed process
+ * leaves a complete audit trail.
+ */
+
+#ifndef HQ_TELEMETRY_EVENT_LOG_H
+#define HQ_TELEMETRY_EVENT_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+
+namespace hq {
+namespace telemetry {
+
+/** Kinds of audited events (the JSONL "type" field). */
+enum class EventType {
+    Violation,    //!< failed policy check
+    SeqGap,       //!< FPGA sequence-counter gap (dropped messages)
+    EpochTimeout, //!< no sync message within the kernel epoch
+    RingDrop,     //!< message lost to a full no-back-pressure buffer
+};
+
+const char *eventTypeName(EventType type);
+
+/** One audited event; fields without a value are emitted as 0/"". */
+struct EventRecord
+{
+    EventType type = EventType::Violation;
+    Pid pid = 0;
+    std::string op; //!< opcode name of the offending message ("" = none)
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint32_t seq = 0;
+    std::uint64_t lag_ns = 0; //!< verification lag when known
+    std::string reason;
+};
+
+/**
+ * Process-global JSONL sink. open() activates it; append() is a no-op
+ * (one relaxed load) while inactive.
+ */
+class EventLog
+{
+  public:
+    static EventLog &instance();
+
+    /** Open (truncate) the sink; activates logging. */
+    bool open(const std::string &path);
+
+    /** Flush and deactivate. Safe to call when never opened. */
+    void close();
+
+    bool
+    active() const
+    {
+        return _active.load(std::memory_order_relaxed);
+    }
+
+    /** Append one record as a JSON line (no-op while inactive). */
+    void append(const EventRecord &record);
+
+    /** Records appended since open(). */
+    std::uint64_t recorded() const
+    {
+        return _recorded.load(std::memory_order_relaxed);
+    }
+
+  private:
+    EventLog() = default;
+
+    std::atomic<bool> _active{false};
+    std::atomic<std::uint64_t> _recorded{0};
+    std::mutex _mutex;
+    std::ofstream _out;
+};
+
+} // namespace telemetry
+} // namespace hq
+
+#endif // HQ_TELEMETRY_EVENT_LOG_H

@@ -1,0 +1,249 @@
+#include "telemetry/statsboard.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "telemetry/telemetry.h"
+
+namespace hq {
+namespace telemetry {
+
+namespace {
+
+HQ_TELEMETRY_HANDLE(publishesCounter, Counter, "statsboard.publishes")
+
+void
+copyName(char (&dst)[kStatsBoardNameLen], const std::string &src)
+{
+    std::strncpy(dst, src.c_str(), kStatsBoardNameLen - 1);
+    dst[kStatsBoardNameLen - 1] = '\0';
+}
+
+} // namespace
+
+void
+snapshotRegistry(StatsBoardSnapshot &out)
+{
+    out.publish_ns = nowNs();
+    out.wall_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    out.n_counters = 0;
+    out.n_gauges = 0;
+    out.n_histograms = 0;
+
+    Registry &registry = Registry::instance();
+    registry.forEachCounter([&out](const std::string &name,
+                                   const Counter &counter) {
+        if (out.n_counters >= kStatsBoardMaxCounters)
+            return;
+        BoardCounter &slot = out.counters[out.n_counters++];
+        copyName(slot.name, name);
+        slot.value = counter.value();
+    });
+    registry.forEachGauge([&out](const std::string &name,
+                                 const Gauge &gauge) {
+        if (out.n_gauges >= kStatsBoardMaxGauges)
+            return;
+        BoardGauge &slot = out.gauges[out.n_gauges++];
+        copyName(slot.name, name);
+        slot.value = gauge.value();
+        slot.max = gauge.max();
+    });
+    registry.forEachHistogram([&out](const std::string &name,
+                                     const Histogram &histogram) {
+        if (out.n_histograms >= kStatsBoardMaxHistograms)
+            return;
+        BoardHistogram &slot = out.histograms[out.n_histograms++];
+        copyName(slot.name, name);
+        slot.count = histogram.count();
+        slot.mean = histogram.mean();
+        slot.min = histogram.min();
+        slot.max = histogram.max();
+        slot.p50 = histogram.percentile(50);
+        slot.p90 = histogram.percentile(90);
+        slot.p99 = histogram.percentile(99);
+    });
+}
+
+// --- Writer ----------------------------------------------------------
+
+std::string
+StatsBoardWriter::defaultName()
+{
+    return "/hq_stats." + std::to_string(::getpid());
+}
+
+StatsBoardWriter::StatsBoardWriter(const std::string &name) : _name(name)
+{
+    const int fd = ::shm_open(_name.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0) {
+        logWarn("statsboard: shm_open(", _name, ") failed: ",
+                std::strerror(errno));
+        return;
+    }
+    if (::ftruncate(fd, sizeof(StatsBoardRegion)) != 0) {
+        logWarn("statsboard: ftruncate failed: ", std::strerror(errno));
+        ::close(fd);
+        ::shm_unlink(_name.c_str());
+        return;
+    }
+    void *mapping = ::mmap(nullptr, sizeof(StatsBoardRegion),
+                           PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mapping == MAP_FAILED) {
+        logWarn("statsboard: mmap failed: ", std::strerror(errno));
+        ::shm_unlink(_name.c_str());
+        return;
+    }
+    _region = new (mapping) StatsBoardRegion;
+    _region->magic = kStatsBoardMagic;
+    _region->version = kStatsBoardVersion;
+    _region->pid = static_cast<std::int32_t>(::getpid());
+    _region->seq.store(0, std::memory_order_relaxed);
+}
+
+StatsBoardWriter::~StatsBoardWriter()
+{
+    if (_region) {
+        ::munmap(_region, sizeof(StatsBoardRegion));
+        ::shm_unlink(_name.c_str());
+    }
+}
+
+void
+StatsBoardWriter::publish(const StatsBoardSnapshot &snapshot)
+{
+    if (!_region)
+        return;
+    const std::uint64_t seq = _region->seq.load(std::memory_order_relaxed);
+    // Seqlock write side: odd counter marks the snapshot as in flux.
+    _region->seq.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    std::memcpy(&_region->snapshot, &snapshot, sizeof(snapshot));
+    std::atomic_thread_fence(std::memory_order_release);
+    _region->seq.store(seq + 2, std::memory_order_release);
+    if (enabled())
+        publishesCounter().inc();
+}
+
+void
+StatsBoardWriter::publishRegistry()
+{
+    // The snapshot is ~20 KB of POD; building it takes the registry
+    // mutex briefly (same as the JSON exporter) but never blocks
+    // recording hot paths, which only touch atomics.
+    static thread_local StatsBoardSnapshot snapshot;
+    snapshotRegistry(snapshot);
+    publish(snapshot);
+}
+
+// --- Reader ----------------------------------------------------------
+
+StatsBoardReader::StatsBoardReader(const std::string &name)
+{
+    const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+    if (fd < 0)
+        return;
+    void *mapping = ::mmap(nullptr, sizeof(StatsBoardRegion), PROT_READ,
+                           MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mapping == MAP_FAILED)
+        return;
+    const auto *region = static_cast<const StatsBoardRegion *>(mapping);
+    if (region->magic != kStatsBoardMagic ||
+        region->version != kStatsBoardVersion) {
+        ::munmap(mapping, sizeof(StatsBoardRegion));
+        return;
+    }
+    _region = region;
+}
+
+StatsBoardReader::~StatsBoardReader()
+{
+    if (_region) {
+        ::munmap(const_cast<StatsBoardRegion *>(_region),
+                 sizeof(StatsBoardRegion));
+    }
+}
+
+bool
+StatsBoardReader::read(StatsBoardSnapshot &out) const
+{
+    if (!_region)
+        return false;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        const std::uint64_t before =
+            _region->seq.load(std::memory_order_acquire);
+        if (before & 1) {
+            // Writer mid-publish: spin.
+            continue;
+        }
+        std::memcpy(&out, &_region->snapshot, sizeof(out));
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t after =
+            _region->seq.load(std::memory_order_acquire);
+        if (before == after)
+            return true;
+    }
+    return false;
+}
+
+// --- Publisher -------------------------------------------------------
+
+StatsPublisher::StatsPublisher(const std::string &name,
+                               std::chrono::milliseconds interval)
+    : _writer(name), _interval(interval)
+{
+}
+
+StatsPublisher::~StatsPublisher()
+{
+    stop();
+}
+
+void
+StatsPublisher::start()
+{
+    if (!_writer.valid())
+        return;
+    bool expected = false;
+    if (!_running.compare_exchange_strong(expected, true))
+        return;
+    _thread = std::thread([this] {
+        while (_running.load(std::memory_order_relaxed)) {
+            _writer.publishRegistry();
+            // Sleep in small slices so stop() is prompt even with a
+            // long publishing interval.
+            auto remaining = _interval;
+            while (remaining.count() > 0 &&
+                   _running.load(std::memory_order_relaxed)) {
+                const auto slice =
+                    std::min(remaining, std::chrono::milliseconds(50));
+                std::this_thread::sleep_for(slice);
+                remaining -= slice;
+            }
+        }
+        // Final snapshot so hq_stat sees the end-of-run totals.
+        _writer.publishRegistry();
+    });
+}
+
+void
+StatsPublisher::stop()
+{
+    if (!_running.exchange(false))
+        return;
+    if (_thread.joinable())
+        _thread.join();
+}
+
+} // namespace telemetry
+} // namespace hq

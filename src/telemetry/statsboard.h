@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Live statsboard: the metrics registry exported into a versioned
+ * POSIX shared-memory segment so an operator can watch a *running*
+ * verifier (tools/hq_stat) instead of waiting for the exit dump.
+ *
+ * A low-rate publisher thread snapshots the registry into the segment
+ * under a seqlock: the writer bumps a sequence counter to an odd value,
+ * copies the snapshot, and bumps it even; readers copy, then retry if
+ * the counter changed or was odd. Monitored hot paths are never
+ * involved — publishing reads the same mutex-guarded metric accessors
+ * the JSON exporter uses, a few times per second, and nothing at all
+ * happens when no publisher is started.
+ *
+ * Segment name: /hq_stats.<pid> under /dev/shm (shm_open), so
+ * `hq_stat` can discover running instances by scanning the directory.
+ */
+
+#ifndef HQ_TELEMETRY_STATSBOARD_H
+#define HQ_TELEMETRY_STATSBOARD_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace hq {
+namespace telemetry {
+
+constexpr std::uint32_t kStatsBoardMagic = 0x42535148; // "HQSB" LE
+constexpr std::uint32_t kStatsBoardVersion = 1;
+constexpr std::size_t kStatsBoardNameLen = 48;
+constexpr std::size_t kStatsBoardMaxCounters = 64;
+constexpr std::size_t kStatsBoardMaxGauges = 32;
+constexpr std::size_t kStatsBoardMaxHistograms = 32;
+
+struct BoardCounter
+{
+    char name[kStatsBoardNameLen];
+    std::uint64_t value;
+};
+
+struct BoardGauge
+{
+    char name[kStatsBoardNameLen];
+    std::uint64_t value;
+    std::uint64_t max;
+};
+
+struct BoardHistogram
+{
+    char name[kStatsBoardNameLen];
+    std::uint64_t count;
+    double mean;
+    double min;
+    double max;
+    double p50;
+    double p90;
+    double p99;
+};
+
+/** One coherent registry snapshot (the seqlock-protected payload). */
+struct StatsBoardSnapshot
+{
+    std::uint64_t publish_ns = 0;  //!< telemetry::nowNs() at publish
+    std::uint64_t wall_ms = 0;     //!< system_clock ms at publish
+    std::uint32_t n_counters = 0;
+    std::uint32_t n_gauges = 0;
+    std::uint32_t n_histograms = 0;
+    std::uint32_t pad = 0;
+    BoardCounter counters[kStatsBoardMaxCounters];
+    BoardGauge gauges[kStatsBoardMaxGauges];
+    BoardHistogram histograms[kStatsBoardMaxHistograms];
+};
+
+/** Fixed layout of the shared segment. */
+struct StatsBoardRegion
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::int32_t pid;      //!< publishing process
+    std::uint32_t pad;
+    std::atomic<std::uint64_t> seq; //!< seqlock counter (odd = writing)
+    StatsBoardSnapshot snapshot;
+};
+
+/** Build a snapshot of the process-global Registry (alphabetical,
+ *  truncated to the board capacities). */
+void snapshotRegistry(StatsBoardSnapshot &out);
+
+/** Creator/owner of the shared segment; unlinks it on destruction. */
+class StatsBoardWriter
+{
+  public:
+    /** "/hq_stats.<pid>" for the calling process. */
+    static std::string defaultName();
+
+    explicit StatsBoardWriter(const std::string &name = defaultName());
+    ~StatsBoardWriter();
+
+    StatsBoardWriter(const StatsBoardWriter &) = delete;
+    StatsBoardWriter &operator=(const StatsBoardWriter &) = delete;
+
+    bool valid() const { return _region != nullptr; }
+    const std::string &name() const { return _name; }
+
+    /** Seqlock-publish one snapshot into the segment. */
+    void publish(const StatsBoardSnapshot &snapshot);
+
+    /** snapshotRegistry() + publish(). */
+    void publishRegistry();
+
+  private:
+    std::string _name;
+    StatsBoardRegion *_region = nullptr;
+};
+
+/** Read-only attachment to a (possibly foreign) statsboard segment. */
+class StatsBoardReader
+{
+  public:
+    explicit StatsBoardReader(const std::string &name);
+    ~StatsBoardReader();
+
+    StatsBoardReader(const StatsBoardReader &) = delete;
+    StatsBoardReader &operator=(const StatsBoardReader &) = delete;
+
+    bool valid() const { return _region != nullptr; }
+    std::int32_t pid() const { return _region ? _region->pid : 0; }
+
+    /**
+     * Copy one consistent snapshot out (seqlock retry loop).
+     * @return false when the segment is invalid or a consistent read
+     *         could not be obtained within the retry budget.
+     */
+    bool read(StatsBoardSnapshot &out) const;
+
+  private:
+    const StatsBoardRegion *_region = nullptr;
+};
+
+/** Background thread that republishes the registry at a fixed rate. */
+class StatsPublisher
+{
+  public:
+    explicit StatsPublisher(
+        const std::string &name = StatsBoardWriter::defaultName(),
+        std::chrono::milliseconds interval = std::chrono::milliseconds(250));
+    ~StatsPublisher();
+
+    bool valid() const { return _writer.valid(); }
+    const std::string &name() const { return _writer.name(); }
+
+    void start();
+    void stop();
+
+  private:
+    StatsBoardWriter _writer;
+    std::chrono::milliseconds _interval;
+    std::thread _thread;
+    std::atomic<bool> _running{false};
+};
+
+} // namespace telemetry
+} // namespace hq
+
+#endif // HQ_TELEMETRY_STATSBOARD_H

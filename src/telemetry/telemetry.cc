@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/event_log.h"
+#include "telemetry/statsboard.h"
 #include "telemetry/trace.h"
 
 namespace hq {
@@ -32,6 +34,18 @@ nowNs()
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              epoch)
+            .count());
+}
+
+std::uint64_t
+monotonicRawNs()
+{
+    // No process-local epoch: steady_clock is CLOCK_MONOTONIC, whose
+    // base is machine-wide, so a stamp taken in a forked child is
+    // directly comparable in the parent.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
             .count());
 }
 
@@ -173,21 +187,25 @@ Registry::Registry()
     // dump carries them (empty or not) and consumers can rely on the
     // keys being present.
     for (const char *name :
-         {"verifier.msg_latency_ns", "kernel.syscall_pause_ns",
-          "fpga.append_ns"}) {
+         {"verifier.msg_latency_ns", "verifier.lag_ns",
+          "kernel.syscall_pause_ns", "fpga.append_ns"}) {
         _histograms.emplace(name, std::make_unique<Histogram>());
     }
     for (const char *name :
          {"verifier.messages", "verifier.violations",
           "verifier.syscall_acks", "verifier.idle_sleeps",
+          "verifier.lag_slo_breaches",
           "kernel.syscalls",
           "kernel.epoch_timeouts", "ipc.ring_push_fail",
-          "ipc.xproc_full_waits", "fpga.messages", "fpga.dropped",
-          "vm.instructions", "vm.instrumentation_ops"}) {
+          "ipc.xproc_full_waits", "ipc.lag_stamp_dropped",
+          "fpga.messages", "fpga.dropped",
+          "vm.instructions", "vm.instrumentation_ops",
+          "statsboard.publishes", "eventlog.records"}) {
         _counters.emplace(name, std::make_unique<Counter>());
     }
     for (const char *name : {"ipc.ring_occupancy", "ipc.xproc_occupancy",
-                             "verifier.policy_entries"}) {
+                             "verifier.policy_entries",
+                             "verifier.lag_high_water_ns"}) {
         _gauges.emplace(name, std::make_unique<Gauge>());
     }
 }
@@ -331,6 +349,36 @@ Registry::toJson() const
 }
 
 void
+Registry::forEachCounter(
+    const std::function<void(const std::string &, const Counter &)>
+        &visit) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    for (const auto &[name, counter] : _counters)
+        visit(name, *counter);
+}
+
+void
+Registry::forEachGauge(
+    const std::function<void(const std::string &, const Gauge &)> &visit)
+    const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    for (const auto &[name, gauge] : _gauges)
+        visit(name, *gauge);
+}
+
+void
+Registry::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)>
+        &visit) const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    for (const auto &[name, histogram] : _histograms)
+        visit(name, *histogram);
+}
+
+void
 Registry::reset()
 {
     std::lock_guard<std::mutex> guard(_mutex);
@@ -359,10 +407,18 @@ writeJsonFile(const std::string &path)
 namespace {
 
 std::string g_out_path;
+std::unique_ptr<StatsPublisher> g_publisher;
 
 void
 flushAtExit()
 {
+    // Stop the statsboard publisher first so its final snapshot lands
+    // before (and its segment disappears with) the exit dump.
+    if (g_publisher) {
+        g_publisher->stop();
+        g_publisher.reset();
+    }
+    EventLog::instance().close();
     if (g_out_path.empty())
         return;
     if (writeJsonFile(g_out_path))
@@ -378,7 +434,12 @@ void
 handleBenchArgs(int &argc, char **argv)
 {
     const std::string kOutFlag = "--telemetry-out=";
+    const std::string kEventLogFlag = "--event-log=";
+    const std::string kStatsBoardFlag = "--statsboard";
     bool enable = false;
+    std::string event_log_path;
+    bool statsboard = false;
+    std::string statsboard_name;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -387,6 +448,16 @@ handleBenchArgs(int &argc, char **argv)
             enable = true;
         } else if (arg == "--telemetry") {
             enable = true;
+        } else if (arg.rfind(kEventLogFlag, 0) == 0) {
+            event_log_path = arg.substr(kEventLogFlag.size());
+            enable = true;
+        } else if (arg.rfind(kStatsBoardFlag, 0) == 0 &&
+                   (arg.size() == kStatsBoardFlag.size() ||
+                    arg[kStatsBoardFlag.size()] == '=')) {
+            statsboard = true;
+            enable = true;
+            if (arg.size() > kStatsBoardFlag.size() + 1)
+                statsboard_name = arg.substr(kStatsBoardFlag.size() + 1);
         } else {
             argv[out++] = argv[i];
         }
@@ -400,8 +471,22 @@ handleBenchArgs(int &argc, char **argv)
     Registry::instance();
     TraceRecorder::instance();
     setEnabled(true);
-    if (!g_out_path.empty())
-        std::atexit(flushAtExit);
+    if (!event_log_path.empty() &&
+        !EventLog::instance().open(event_log_path)) {
+        std::fprintf(stderr, "telemetry: failed to open event log %s\n",
+                     event_log_path.c_str());
+    }
+    if (statsboard) {
+        g_publisher = std::make_unique<StatsPublisher>(
+            statsboard_name.empty() ? StatsBoardWriter::defaultName()
+                                    : statsboard_name);
+        if (g_publisher->valid()) {
+            g_publisher->start();
+            std::fprintf(stderr, "telemetry: statsboard at %s\n",
+                         g_publisher->name().c_str());
+        }
+    }
+    std::atexit(flushAtExit);
 }
 
 } // namespace telemetry

@@ -22,6 +22,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,14 @@ void setEnabled(bool on);
 
 /** Monotonic nanoseconds since the process's telemetry epoch. */
 std::uint64_t nowNs();
+
+/**
+ * Raw monotonic nanoseconds (no per-process epoch). Comparable across
+ * processes on the same machine, which is what the cross-process lag
+ * sidecar needs: the producer stamps in one process and the verifier
+ * subtracts in another.
+ */
+std::uint64_t monotonicRawNs();
 
 // --- Metric types ----------------------------------------------------
 
@@ -192,6 +201,22 @@ class Registry
      */
     std::string toJson() const;
 
+    /**
+     * Visit every metric of one kind in name order. The registry mutex
+     * is held across the sweep (registration is rare and hot paths
+     * cache references, so this blocks no recorder) — used by the
+     * statsboard publisher to build coherent snapshots.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, const Counter &)>
+            &visit) const;
+    void forEachGauge(
+        const std::function<void(const std::string &, const Gauge &)>
+            &visit) const;
+    void forEachHistogram(
+        const std::function<void(const std::string &, const Histogram &)>
+            &visit) const;
+
     /** Zero every metric's value (registrations are kept). Tests. */
     void reset();
 
@@ -289,10 +314,20 @@ class ScopedTimer
 bool writeJsonFile(const std::string &path);
 
 /**
- * Bench argv helper: strips `--telemetry-out=FILE` (and bare
- * `--telemetry`) from argv, enables recording when present, and
- * registers an atexit hook that writes the combined JSON dump to FILE.
- * Call first thing in main(); positional args shift down.
+ * Shared CLI helper for benches and examples. Strips the observability
+ * flags from argv (positional args shift down) and activates the
+ * corresponding subsystems:
+ *
+ *  - `--telemetry-out=FILE` / bare `--telemetry`: enable recording;
+ *    with FILE, an atexit hook writes the combined JSON dump there.
+ *  - `--event-log=FILE`: open the structured JSONL audit stream
+ *    (violations, sequence gaps, epoch timeouts, ring drops) and
+ *    enable recording.
+ *  - `--statsboard[=NAME]`: enable recording and start the shared-
+ *    memory statsboard publisher (segment NAME, default
+ *    /hq_stats.<pid>) that tools/hq_stat attaches to.
+ *
+ * Call first thing in main().
  */
 void handleBenchArgs(int &argc, char **argv);
 

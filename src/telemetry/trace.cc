@@ -115,6 +115,15 @@ TraceRecorder::toJson() const
             os << ",\"s\":\"t\"";
         } else if (event.phase == 'C') {
             os << ",\"args\":{\"value\":" << event.value << "}";
+        } else if (event.phase == 's' || event.phase == 'f') {
+            // Flow events pair by (cat, name, id); "bp":"e" binds the
+            // finish to the enclosing slice, which Perfetto requires to
+            // draw the arrow into the verifier's check slice.
+            std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                          static_cast<unsigned long long>(event.value));
+            os << buf;
+            if (event.phase == 'f')
+                os << ",\"bp\":\"e\"";
         }
         os << "}";
     }

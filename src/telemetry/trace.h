@@ -28,14 +28,15 @@
 namespace hq {
 namespace telemetry {
 
-/** One recorded event (Chrome trace_event phases X / i / C). */
+/** One recorded event (Chrome trace_event phases X / i / C / s / f). */
 struct TraceEvent
 {
     const char *name = nullptr;
-    char phase = 'X';         //!< 'X' complete, 'i' instant, 'C' counter
+    char phase = 'X';         //!< 'X' complete, 'i' instant, 'C' counter,
+                              //!< 's'/'f' flow begin/end
     std::uint64_t ts_ns = 0;  //!< start timestamp (nowNs())
     std::uint64_t dur_ns = 0; //!< duration ('X' only)
-    std::uint64_t value = 0;  //!< counter value ('C' only)
+    std::uint64_t value = 0;  //!< counter value ('C'), flow id ('s'/'f')
 };
 
 /** Fixed-capacity single-writer event ring; capacity is a power of 2. */
@@ -170,6 +171,40 @@ traceCounter(const char *name, std::uint64_t value)
     event.phase = 'C';
     event.ts_ns = nowNs();
     event.value = value;
+    TraceRecorder::instance().threadBuffer().emit(event);
+}
+
+/**
+ * Begin a flow (Perfetto draws an arrow from here to the matching
+ * traceFlowEnd with the same id, across threads). Emit inside an 'X'
+ * slice on the producing thread — flow events bind to the slice
+ * enclosing their timestamp. The verifier keys lag flows by
+ * (channel id << 32) | sequence.
+ */
+inline void
+traceFlowBegin(const char *name, std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.name = name;
+    event.phase = 's';
+    event.ts_ns = nowNs();
+    event.value = id;
+    TraceRecorder::instance().threadBuffer().emit(event);
+}
+
+/** End a flow begun by traceFlowBegin(name, id) on another thread. */
+inline void
+traceFlowEnd(const char *name, std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.name = name;
+    event.phase = 'f';
+    event.ts_ns = nowNs();
+    event.value = id;
     TraceRecorder::instance().threadBuffer().emit(event);
 }
 

@@ -12,7 +12,7 @@ UarchModelChannel::UarchModelChannel(std::size_t capacity)
 }
 
 Status
-UarchModelChannel::send(const Message &message)
+UarchModelChannel::sendImpl(const Message &message)
 {
     while (_amr.appendWrite(message) == AppendResult::Full) {
         // Modeled fault to the kernel: the region is exhausted, so wait

@@ -28,7 +28,7 @@ class UarchModelChannel : public Channel
      * auto-increment; spin-wait for the verifier when the AMR is full
      * (the modeled kernel fault handler).
      */
-    Status send(const Message &message) override;
+    Status sendImpl(const Message &message) override;
 
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;

@@ -19,6 +19,9 @@ HQ_TELEMETRY_HANDLE(violationsCounter, Counter, "verifier.violations")
 HQ_TELEMETRY_HANDLE(syscallAcksCounter, Counter, "verifier.syscall_acks")
 HQ_TELEMETRY_HANDLE(policyEntriesGauge, Gauge, "verifier.policy_entries")
 HQ_TELEMETRY_HANDLE(idleSleepsCounter, Counter, "verifier.idle_sleeps")
+HQ_TELEMETRY_HANDLE(lagHist, Histogram, "verifier.lag_ns")
+HQ_TELEMETRY_HANDLE(lagSloBreaches, Counter, "verifier.lag_slo_breaches")
+HQ_TELEMETRY_HANDLE(lagHighWater, Gauge, "verifier.lag_high_water_ns")
 
 } // namespace
 
@@ -133,10 +136,19 @@ Verifier::poll()
             const bool telemetry_on = telemetry::enabled();
             const std::uint64_t batch_start =
                 telemetry_on ? telemetry::nowNs() : 0;
+            telemetry::TraceScope check_scope("verifier.check_batch");
+
+            // Match lag envelopes before the checks so per-message lag
+            // is available to the event log on a violation.
+            std::uint64_t lag_ns[kMaxPollBatch];
+            if (telemetry_on)
+                recordBatchLag(entry, n, lag_ns);
 
             PidMemo memo;
             for (std::size_t i = 0; i < n; ++i)
-                handleMessage(entry, batch[i], memo);
+                handleMessage(entry, batch[i], memo,
+                              telemetry_on ? lag_ns[i] : kNoLag);
+            entry.recv_index += n;
 
             if (telemetry_on) {
                 const std::uint64_t elapsed =
@@ -157,14 +169,65 @@ Verifier::poll()
 }
 
 void
+Verifier::recordBatchLag(ChannelEntry &entry, std::size_t n,
+                         std::uint64_t *lag_ns)
+{
+    telemetry::LagSidecar *sidecar = entry.channel->lagSidecar();
+    // One clock read per batch: every message checked in this drain
+    // shares the same "checked at" instant, which is what bounded
+    // asynchronous validation promises anyway (the batch is validated
+    // as a unit before any syscall ack).
+    const std::uint64_t check_ns = telemetry::monotonicRawNs();
+    const std::uint32_t channel_id = entry.channel->channelId();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t index = entry.recv_index + i;
+        std::uint64_t enqueue_ns = 0;
+        if (sidecar == nullptr ||
+            !sidecar->consumeUpTo(index, enqueue_ns)) {
+            lag_ns[i] = kNoLag;
+            continue;
+        }
+        const std::uint64_t lag =
+            check_ns > enqueue_ns ? check_ns - enqueue_ns : 0;
+        lag_ns[i] = lag;
+        lagHist().record(lag);
+        if (entry.pid_lag == nullptr)
+            entry.pid_lag = &telemetry::Registry::instance().histogram(
+                "verifier.lag_ns.pid_" + std::to_string(entry.owner));
+        entry.pid_lag->record(lag);
+        lagHighWater().set(lag); // Gauge keeps the high-water mark
+        if (_config.lag_slo_ns != 0 && lag > _config.lag_slo_ns)
+            lagSloBreaches().inc();
+        // Close the Perfetto flow opened by Channel::send; "bp":"e"
+        // binds the arrow head into the enclosing check_batch slice.
+        telemetry::traceFlowEnd("lag", lagFlowId(channel_id, index));
+    }
+}
+
+void
 Verifier::recordViolation(Pid pid, ProcessEntry &process,
-                          const std::string &reason)
+                          const std::string &reason,
+                          const Message &message,
+                          telemetry::EventType event_type,
+                          std::uint64_t lag_ns)
 {
     process.violated = true;
     ++process.stats.violations;
     if (telemetry::enabled()) {
         violationsCounter().inc();
         telemetry::traceInstant("verifier.violation");
+    }
+    if (telemetry::EventLog::instance().active()) {
+        telemetry::EventRecord record;
+        record.type = event_type;
+        record.pid = pid;
+        record.op = opcodeName(message.op);
+        record.arg0 = message.arg0;
+        record.arg1 = message.arg1;
+        record.seq = message.seq;
+        record.lag_ns = lag_ns == kNoLag ? 0 : lag_ns;
+        record.reason = reason;
+        telemetry::EventLog::instance().append(record);
     }
     logDebug("verifier: violation for pid ", pid, ": ", reason);
     if (_config.kill_on_violation)
@@ -173,7 +236,7 @@ Verifier::recordViolation(Pid pid, ProcessEntry &process,
 
 void
 Verifier::handleMessage(ChannelEntry &entry, const Message &message,
-                        PidMemo &memo)
+                        PidMemo &memo, std::uint64_t lag_ns)
 {
     // Authenticity: trust the hardware-stamped PID when present,
     // otherwise the kernel-arbitrated channel registration.
@@ -205,7 +268,9 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
         if (entry.seq_started &&
             message.seq != entry.expected_seq) {
             recordViolation(pid, process,
-                            "message sequence gap: integrity violated");
+                            "message sequence gap: integrity violated",
+                            message, telemetry::EventType::SeqGap,
+                            lag_ns);
         }
         entry.seq_started = true;
         entry.expected_seq = message.seq + 1;
@@ -213,7 +278,8 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
 
     const Status status = process.context->handleMessage(message);
     if (!status.isOk())
-        recordViolation(pid, process, status.message());
+        recordViolation(pid, process, status.message(), message,
+                        telemetry::EventType::Violation, lag_ns);
 
     process.stats.max_entries =
         std::max(process.stats.max_entries, process.context->entryCount());

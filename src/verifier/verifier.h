@@ -30,6 +30,8 @@
 #include "ipc/channel.h"
 #include "kernel/kernel.h"
 #include "policy/policy.h"
+#include "telemetry/event_log.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 
@@ -68,6 +70,13 @@ class Verifier : public ProcessEventListener
          * so one busy channel cannot starve the others.
          */
         std::size_t poll_batch = 64;
+        /**
+         * Verification-lag SLO watermark in nanoseconds. Each message
+         * whose enqueue-to-check lag (measured via the channel's lag
+         * sidecar) exceeds this increments `verifier.lag_slo_breaches`.
+         * 0 disables the check. Only meaningful while telemetry is on.
+         */
+        std::uint64_t lag_slo_ns = 1'000'000;
     };
 
     /**
@@ -129,6 +138,12 @@ class Verifier : public ProcessEventListener
         bool device_stamped = false;
         std::uint32_t expected_seq = 0;
         bool seq_started = false;
+        /// Messages drained from this channel so far; index of the next
+        /// message, used to match lag-sidecar envelopes by sequence.
+        std::uint64_t recv_index = 0;
+        /// Cached per-owner lag histogram (`verifier.lag_ns.pid_<N>`);
+        /// resolved on first lag sample (channels are per-process).
+        telemetry::Histogram *pid_lag = nullptr;
     };
 
     struct ProcessEntry
@@ -153,11 +168,22 @@ class Verifier : public ProcessEventListener
         bool valid = false;
     };
 
+    /// Sentinel for "no lag sample matched this message".
+    static constexpr std::uint64_t kNoLag = ~std::uint64_t{0};
+
     void eventLoop();
     void handleMessage(ChannelEntry &entry, const Message &message,
-                       PidMemo &memo);
+                       PidMemo &memo, std::uint64_t lag_ns);
     void recordViolation(Pid pid, ProcessEntry &process,
-                         const std::string &reason);
+                         const std::string &reason,
+                         const Message &message,
+                         telemetry::EventType event_type,
+                         std::uint64_t lag_ns);
+    /// Match lag-sidecar envelopes for the batch just drained from
+    /// `entry`, filling lag_ns[0..n) (kNoLag when unmatched) and
+    /// recording the lag histograms/SLO metrics and flow-end events.
+    void recordBatchLag(ChannelEntry &entry, std::size_t n,
+                        std::uint64_t *lag_ns);
 
     KernelModule &_kernel;
     std::shared_ptr<Policy> _policy;

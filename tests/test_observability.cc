@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests for the message-lifecycle observability layer: the lag sidecar,
+ * verifier lag histograms and SLO accounting, Perfetto flow-event
+ * pairing across trace-ring wrap, the seqlock statsboard, and the JSONL
+ * structured event log.
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ipc/shm_channel.h"
+#include "ipc/xproc_ring.h"
+#include "kernel/kernel.h"
+#include "policy/pointer_integrity.h"
+#include "telemetry/event_log.h"
+#include "telemetry/lag.h"
+#include "telemetry/statsboard.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+using telemetry::LagSidecar;
+using telemetry::Registry;
+using telemetry::StatsBoardReader;
+using telemetry::StatsBoardSnapshot;
+using telemetry::StatsBoardWriter;
+using telemetry::TraceRecorder;
+
+/** Scoped enable: telemetry on for the test, restored after. */
+struct TelemetryOn
+{
+    TelemetryOn()
+    {
+        Registry::instance().reset();
+        TraceRecorder::instance().reset();
+        telemetry::setEnabled(true);
+    }
+    ~TelemetryOn() { telemetry::setEnabled(false); }
+};
+
+// ---------------------------------------------------------------------
+// LagSidecar unit semantics
+// ---------------------------------------------------------------------
+
+TEST(LagSidecar, StampThenConsumeMatchesExactSequence)
+{
+    LagSidecar sidecar(16);
+    EXPECT_TRUE(sidecar.stamp(0, 100));
+    EXPECT_TRUE(sidecar.stamp(1, 200));
+
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_TRUE(sidecar.consumeUpTo(0, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 100u);
+    EXPECT_TRUE(sidecar.consumeUpTo(1, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 200u);
+    EXPECT_EQ(sidecar.pending(), 0u);
+}
+
+TEST(LagSidecar, StaleEnvelopesAreDiscardedNotMismatched)
+{
+    LagSidecar sidecar(16);
+    sidecar.stamp(0, 100);
+    sidecar.stamp(1, 200);
+    sidecar.stamp(5, 500);
+
+    // Consumer skipped ahead to seq 5 (e.g. telemetry was toggled):
+    // envelopes 0 and 1 must be dropped, 5 must still match.
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_TRUE(sidecar.consumeUpTo(5, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 500u);
+    EXPECT_EQ(sidecar.pending(), 0u);
+}
+
+TEST(LagSidecar, FutureEnvelopeStopsConsumptionWithoutLoss)
+{
+    LagSidecar sidecar(16);
+    sidecar.stamp(7, 700);
+
+    // Asking for an earlier sequence must not consume the future stamp.
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_FALSE(sidecar.consumeUpTo(3, enqueue_ns));
+    EXPECT_EQ(sidecar.pending(), 1u);
+    EXPECT_TRUE(sidecar.consumeUpTo(7, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 700u);
+}
+
+TEST(LagSidecar, FullSidecarDropsNewStampsAndCounts)
+{
+    LagSidecar sidecar(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(sidecar.stamp(i, i));
+    EXPECT_FALSE(sidecar.stamp(4, 4));
+    EXPECT_EQ(sidecar.dropped(), 1u);
+    EXPECT_EQ(sidecar.pending(), 4u);
+}
+
+TEST(LagSidecar, WrappedRegionSharedBetweenTwoAttachments)
+{
+    // Same pattern as the cross-process channel: one region, a
+    // producer-side wrapper that initializes and a consumer-side
+    // wrapper that attaches.
+    std::vector<unsigned char> region(LagSidecar::regionBytes(8));
+    LagSidecar producer(region.data(), 8, /*initialize=*/true);
+    LagSidecar consumer(region.data(), 8, /*initialize=*/false);
+
+    EXPECT_TRUE(producer.stamp(0, 42));
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_TRUE(consumer.consumeUpTo(0, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 42u);
+}
+
+// ---------------------------------------------------------------------
+// Channel::send stamping + verifier lag accounting
+// ---------------------------------------------------------------------
+
+TEST(LagTracing, XprocChannelSidecarLivesInSharedMapping)
+{
+    TelemetryOn on;
+    XprocChannel channel(1 << 6);
+    if (!channel.valid())
+        GTEST_SKIP() << "shared mapping unavailable";
+
+    // Installed at construction (not lazily): it must exist before
+    // fork() so both processes share it.
+    ASSERT_NE(channel.lagSidecar(), nullptr);
+    ASSERT_TRUE(channel.send(Message(Opcode::PointerDefine, 1, 2)).isOk());
+    EXPECT_EQ(channel.lagSidecar()->pending(), 1u);
+
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_TRUE(channel.lagSidecar()->consumeUpTo(0, enqueue_ns));
+    EXPECT_LE(enqueue_ns, telemetry::monotonicRawNs());
+}
+
+TEST(LagTracing, VerifierRecordsLagForEveryMessageUnderBatchedDrain)
+{
+    TelemetryOn on;
+    constexpr Pid kPid = 7;
+    constexpr std::size_t kMessages = 100;
+
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    config.poll_batch = 16; // force multiple tryRecvBatch rounds
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(kPid);
+
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    ASSERT_TRUE(channel.send(Message(Opcode::PointerDefine, 0x10, 0xAA))
+                    .isOk());
+    for (std::size_t i = 1; i < kMessages; ++i)
+        ASSERT_TRUE(channel.send(Message(Opcode::PointerCheck, 0x10, 0xAA))
+                        .isOk());
+
+    EXPECT_EQ(verifier.poll(), kMessages);
+
+    // Every drained message matched its envelope: one lag sample each,
+    // in both the global and the per-pid histogram.
+    auto &lag = Registry::instance().histogram("verifier.lag_ns");
+    EXPECT_EQ(lag.count(), kMessages);
+    EXPECT_GT(lag.mean(), 0.0);
+    auto &pid_lag =
+        Registry::instance().histogram("verifier.lag_ns.pid_7");
+    EXPECT_EQ(pid_lag.count(), kMessages);
+    EXPECT_EQ(
+        Registry::instance().counter("ipc.lag_stamp_dropped").value(),
+        0u);
+}
+
+TEST(LagTracing, MidRunEnableRealignsBySequence)
+{
+    constexpr Pid kPid = 9;
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(kPid);
+
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    // Phase 1: telemetry off — no envelopes, but send/recv indices
+    // still advance in lockstep.
+    telemetry::setEnabled(false);
+    channel.send(Message(Opcode::PointerDefine, 0x20, 0xBB));
+    for (int i = 0; i < 4; ++i)
+        channel.send(Message(Opcode::PointerCheck, 0x20, 0xBB));
+    EXPECT_EQ(verifier.poll(), 5u);
+
+    // Phase 2: telemetry on — the next 5 messages must all match.
+    Registry::instance().reset();
+    telemetry::setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        channel.send(Message(Opcode::PointerCheck, 0x20, 0xBB));
+    EXPECT_EQ(verifier.poll(), 5u);
+    telemetry::setEnabled(false);
+
+    EXPECT_EQ(Registry::instance().histogram("verifier.lag_ns").count(),
+              5u);
+}
+
+TEST(LagTracing, SloBreachesAndHighWaterTrackSlowVerification)
+{
+    TelemetryOn on;
+    constexpr Pid kPid = 11;
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    config.lag_slo_ns = 1; // everything breaches a 1ns SLO
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(kPid);
+
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    channel.send(Message(Opcode::PointerDefine, 0x30, 0xCC));
+    channel.send(Message(Opcode::PointerCheck, 0x30, 0xCC));
+    EXPECT_EQ(verifier.poll(), 2u);
+
+    EXPECT_EQ(
+        Registry::instance().counter("verifier.lag_slo_breaches").value(),
+        2u);
+    EXPECT_GT(
+        Registry::instance().gauge("verifier.lag_high_water_ns").max(),
+        0u);
+}
+
+// ---------------------------------------------------------------------
+// Perfetto flow events across trace-ring wrap
+// ---------------------------------------------------------------------
+
+/** Collect (phase, flow-id) pairs from a Chrome trace JSON array. */
+std::vector<std::pair<char, std::uint64_t>>
+flowEvents(const std::string &json)
+{
+    std::vector<std::pair<char, std::uint64_t>> events;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"ph\":\"", pos)) != std::string::npos) {
+        const char phase = json[pos + 6];
+        pos += 6;
+        if (phase != 's' && phase != 'f')
+            continue;
+        const std::size_t id_pos = json.find("\"id\":\"0x", pos);
+        if (id_pos == std::string::npos)
+            break;
+        events.emplace_back(
+            phase,
+            std::stoull(json.substr(id_pos + 8, 16), nullptr, 16));
+        pos = id_pos;
+    }
+    return events;
+}
+
+TEST(TraceFlows, BeginEndIdsPairUpAfterRingWrap)
+{
+    TelemetryOn on;
+    constexpr std::size_t kCapacity = 256;
+    constexpr std::uint64_t kFlows = 2000; // >> capacity: forces wrap
+    TraceRecorder::instance().setCapacity(kCapacity);
+
+    // Producer/consumer handoff mirroring send -> verifier: the
+    // consumer only closes flows the producer has opened. Fresh
+    // threads get fresh rings at the reduced capacity.
+    std::atomic<std::uint64_t> produced{0};
+    std::thread producer([&] {
+        for (std::uint64_t id = 0; id < kFlows; ++id) {
+            telemetry::traceFlowBegin("lag", id);
+            produced.store(id + 1, std::memory_order_release);
+        }
+    });
+    std::thread consumer([&] {
+        std::uint64_t next = 0;
+        while (next < kFlows) {
+            if (next < produced.load(std::memory_order_acquire)) {
+                telemetry::traceFlowEnd("lag", next);
+                ++next;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    producer.join();
+    consumer.join();
+
+    const std::string json = TraceRecorder::instance().toJson();
+    TraceRecorder::instance().setCapacity(1 << 14); // restore default
+
+    std::set<std::uint64_t> begins;
+    std::set<std::uint64_t> ends;
+    for (const auto &[phase, id] : flowEvents(json))
+        (phase == 's' ? begins : ends).insert(id);
+
+    // Both rings wrapped identically (same event count, same capacity),
+    // so the retained windows hold the same newest flow ids: every
+    // surviving begin has its end and vice versa.
+    ASSERT_EQ(begins.size(), kCapacity);
+    EXPECT_EQ(begins, ends);
+    EXPECT_TRUE(begins.count(kFlows - 1));
+    EXPECT_FALSE(begins.count(0)); // the oldest flows were overwritten
+}
+
+// ---------------------------------------------------------------------
+// Statsboard: seqlock consistency + shm roundtrip
+// ---------------------------------------------------------------------
+
+TEST(StatsBoard, SnapshotRoundTripsThroughSharedMemory)
+{
+    TelemetryOn on;
+    Registry::instance().counter("verifier.messages").add(1234);
+
+    const std::string name =
+        "/hq_test_board." + std::to_string(::getpid());
+    StatsBoardWriter writer(name);
+    ASSERT_TRUE(writer.valid());
+    writer.publishRegistry();
+
+    StatsBoardReader reader(name);
+    ASSERT_TRUE(reader.valid());
+    EXPECT_EQ(reader.pid(), ::getpid());
+
+    StatsBoardSnapshot snapshot;
+    ASSERT_TRUE(reader.read(snapshot));
+    bool found = false;
+    for (std::uint32_t i = 0; i < snapshot.n_counters; ++i) {
+        if (std::string(snapshot.counters[i].name) ==
+            "verifier.messages") {
+            EXPECT_EQ(snapshot.counters[i].value, 1234u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StatsBoard, SeqlockNeverYieldsTornSnapshots)
+{
+    const std::string name =
+        "/hq_test_seqlock." + std::to_string(::getpid());
+    StatsBoardWriter writer(name);
+    ASSERT_TRUE(writer.valid());
+
+    // Writer publishes snapshots holding the invariant
+    // counters[1] == 2 * counters[0]; any torn read breaks it.
+    std::atomic<bool> stop{false};
+    std::thread publisher([&] {
+        StatsBoardSnapshot snapshot;
+        snapshot.n_counters = 2;
+        std::snprintf(snapshot.counters[0].name,
+                      sizeof snapshot.counters[0].name, "a");
+        std::snprintf(snapshot.counters[1].name,
+                      sizeof snapshot.counters[1].name, "b");
+        std::uint64_t k = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            ++k;
+            snapshot.counters[0].value = k;
+            snapshot.counters[1].value = 2 * k;
+            writer.publish(snapshot);
+            // Brief pause between publishes (as the real 250ms-interval
+            // publisher has) so readers can win the seqlock race even
+            // on a loaded machine.
+            std::this_thread::yield();
+        }
+    });
+
+    StatsBoardReader reader(name);
+    ASSERT_TRUE(reader.valid());
+    StatsBoardSnapshot snapshot;
+    std::size_t consistent_reads = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (!reader.read(snapshot))
+            continue; // contended beyond the retry budget: allowed
+        ++consistent_reads;
+        ASSERT_EQ(snapshot.counters[1].value,
+                  2 * snapshot.counters[0].value)
+            << "torn snapshot after " << consistent_reads << " reads";
+    }
+    stop.store(true);
+    publisher.join();
+
+    // With the writer idle a read cannot starve: it must succeed and
+    // hold the invariant (the concurrent loop above may legitimately
+    // have been contended throughout on a loaded machine).
+    ASSERT_TRUE(reader.read(snapshot));
+    EXPECT_EQ(snapshot.counters[1].value,
+              2 * snapshot.counters[0].value);
+}
+
+// ---------------------------------------------------------------------
+// Structured JSONL event log
+// ---------------------------------------------------------------------
+
+/** Keys must appear in this exact order in every record. */
+void
+expectSchema(const std::string &line)
+{
+    static const char *kKeys[] = {"type",  "ts_wall_ms", "ts_ns",
+                                  "pid",   "op",         "arg0",
+                                  "arg1",  "seq",        "lag_ns",
+                                  "reason"};
+    std::size_t pos = 0;
+    for (const char *key : kKeys) {
+        const std::string needle = std::string("\"") + key + "\":";
+        const std::size_t at = line.find(needle, pos);
+        ASSERT_NE(at, std::string::npos)
+            << "missing key " << key << " in: " << line;
+        pos = at + needle.size();
+    }
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+}
+
+TEST(EventLog, JsonlRecordsMatchGoldenSchema)
+{
+    auto &log = telemetry::EventLog::instance();
+    const std::string path =
+        "/tmp/hq_event_log_test_" + std::to_string(::getpid()) + ".jsonl";
+    ASSERT_TRUE(log.open(path));
+
+    telemetry::EventRecord violation;
+    violation.type = telemetry::EventType::Violation;
+    violation.pid = 7;
+    violation.op = "POINTER-CHECK";
+    violation.arg0 = 4096;
+    violation.arg1 = 0xBEEF;
+    violation.seq = 3;
+    violation.lag_ns = 123;
+    violation.reason = "bad pointer";
+    log.append(violation);
+
+    telemetry::EventRecord timeout;
+    timeout.type = telemetry::EventType::EpochTimeout;
+    timeout.pid = 8;
+    timeout.op = "Syscall";
+    timeout.arg0 = 59;
+    timeout.reason = "epoch \"expired\"\n"; // escaping exercise
+    log.append(timeout);
+
+    log.close();
+    EXPECT_EQ(log.recorded(), 2u);
+
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+
+    expectSchema(lines[0]);
+    expectSchema(lines[1]);
+    EXPECT_NE(lines[0].find("\"type\":\"violation\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"pid\":7,\"op\":\"POINTER-CHECK\",\"arg0\""
+                            ":4096,\"arg1\":48879,\"seq\":3,\"lag_ns\""
+                            ":123,\"reason\":\"bad pointer\"}"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"type\":\"epoch_timeout\""),
+              std::string::npos);
+    // The reason's quote and newline must be escaped, keeping one
+    // record per line.
+    EXPECT_NE(lines[1].find("epoch \\\"expired\\\"\\n"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, VerifierViolationProducesOneRecord)
+{
+    TelemetryOn on;
+    auto &log = telemetry::EventLog::instance();
+    const std::string path =
+        "/tmp/hq_event_log_verifier_" + std::to_string(::getpid()) +
+        ".jsonl";
+    ASSERT_TRUE(log.open(path));
+
+    constexpr Pid kPid = 13;
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(kPid);
+
+    ShmChannel channel(1 << 8);
+    verifier.attachChannel(&channel, kPid);
+
+    channel.send(Message(Opcode::PointerDefine, 0x40, 0xAA));
+    channel.send(Message(Opcode::PointerCheck, 0x40, 0xAA));
+    channel.send(Message(Opcode::PointerCheck, 0x40, 0xBAD));
+    EXPECT_EQ(verifier.poll(), 3u);
+    log.close();
+
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 1u);
+    expectSchema(lines[0]);
+    EXPECT_NE(lines[0].find("\"type\":\"violation\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"pid\":13"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"op\":\"POINTER-CHECK\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace hq
