@@ -32,6 +32,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "faultinject/fault.h"
 #include "ipc/xproc_ring.h"
 #include "kernel/kernel.h"
 #include "policy/pointer_integrity.h"
@@ -97,27 +98,58 @@ runOneShot(XprocChannel &channel)
 int
 runStreaming(XprocChannel &channel, long duration_secs)
 {
+    const bool chaos = faultinject::armed();
+    if (chaos) {
+        // The audit needs the child's injected counts and child-side
+        // detector deltas (the parent only sees its own registry).
+        // A pipe carries the report back across the fork boundary.
+        channel.setSendTimeout(std::chrono::seconds(2));
+    }
+    int report_pipe[2] = {-1, -1};
+    if (chaos && pipe(report_pipe) != 0) {
+        std::perror("pipe");
+        return 1;
+    }
+
     const pid_t child = fork();
     if (child == 0) {
         // ----- monitored process ------------------------------------
         // Steady pointer-integrity traffic: define once, check in
         // bursts, yield between bursts so the run lasts the requested
         // wall time instead of saturating the ring.
-        channel.send(Message(Opcode::PointerDefine, 0x1000, 0xAAAA));
+        if (chaos)
+            close(report_pipe[0]);
+        bool send_ok =
+            channel.send(Message(Opcode::PointerDefine, 0x1000, 0xAAAA))
+                .isOk();
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::seconds(duration_secs);
-        while (std::chrono::steady_clock::now() < deadline) {
-            for (int i = 0; i < 64; ++i)
-                channel.send(Message(Opcode::PointerCheck, 0x1000,
-                                     0xAAAA));
+        while (send_ok && std::chrono::steady_clock::now() < deadline) {
+            for (int i = 0; send_ok && i < 64; ++i)
+                send_ok = channel
+                              .send(Message(Opcode::PointerCheck, 0x1000,
+                                            0xAAAA))
+                              .isOk();
             usleep(1000);
         }
         // Finale: the "exploit" corrupts the pointer, then a syscall
-        // forces synchronization so nothing is left in flight.
-        channel.send(Message(Opcode::PointerCheck, 0x1000, 0xBADBAD));
-        channel.send(Message(Opcode::Syscall, 59));
-        _exit(0);
+        // forces synchronization so nothing is left in flight. Under
+        // chaos a send may fail closed instead; that is a legitimate
+        // outcome the parent distinguishes via the exit code.
+        if (send_ok) {
+            channel.send(Message(Opcode::PointerCheck, 0x1000, 0xBADBAD));
+            channel.send(Message(Opcode::Syscall, 59));
+        }
+        if (chaos) {
+            const std::string report =
+                faultinject::exportCrossProcessReport();
+            ssize_t ignored =
+                write(report_pipe[1], report.data(), report.size());
+            (void)ignored;
+            close(report_pipe[1]);
+        }
+        _exit(send_ok ? 0 : 3);
     }
 
     // ----- verifier process ------------------------------------------
@@ -126,11 +158,26 @@ runStreaming(XprocChannel &channel, long duration_secs)
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config config;
     config.kill_on_violation = false; // count, don't kill (§5 style)
+    if (chaos) {
+        // Chaos runs exercise the full detection surface: sequence
+        // gaps flag drops/dups, the CRC flags in-flight corruption.
+        config.check_sequence = true;
+        config.check_crc = true;
+    }
     Verifier verifier(kernel, policy, config);
     kernel.enableProcess(pid);
     verifier.attachChannel(&channel, pid);
     verifier.start();
 
+    std::string child_report;
+    if (chaos) {
+        close(report_pipe[1]);
+        char buf[4096];
+        ssize_t n;
+        while ((n = read(report_pipe[0], buf, sizeof(buf))) > 0)
+            child_report.append(buf, static_cast<std::size_t>(n));
+        close(report_pipe[0]);
+    }
     int wstatus = 0;
     waitpid(child, &wstatus, 0);
     // Drain whatever the child left in the ring before stopping.
@@ -146,12 +193,39 @@ runStreaming(XprocChannel &channel, long duration_secs)
                 static_cast<unsigned long long>(stats.messages),
                 static_cast<unsigned long long>(stats.violations),
                 static_cast<unsigned long long>(stats.syscall_acks));
-    std::printf("  -> %s\n",
-                stats.violations == 1
-                    ? "corruption detected across a real process "
-                      "boundary"
-                    : "UNEXPECTED RESULT");
-    return stats.violations == 1 ? 0 : 1;
+
+    if (!chaos) {
+        std::printf("  -> %s\n",
+                    stats.violations == 1
+                        ? "corruption detected across a real process "
+                          "boundary"
+                        : "UNEXPECTED RESULT");
+        return stats.violations == 1 ? 0 : 1;
+    }
+
+    // ----- chaos verdict ---------------------------------------------
+    // Under injected faults the exact violation count is not meaningful
+    // (every drop/dup/corruption adds one); what must hold is that no
+    // injected fault class went undetected and the child either
+    // finished or failed *closed*.
+    const bool child_ok =
+        WIFEXITED(wstatus) &&
+        (WEXITSTATUS(wstatus) == 0 || WEXITSTATUS(wstatus) == 3);
+    if (!faultinject::absorbCrossProcessReport(child_report)) {
+        std::printf("  -> CHAOS FAILURE: child fault report missing or "
+                    "malformed\n");
+        return 1;
+    }
+    const int silent = faultinject::emitAuditRecords();
+    std::printf("  chaos: [%s]\n",
+                faultinject::FaultPlan::instance().describe().c_str());
+    std::printf("  chaos: child exit %s, silent accepts %d\n",
+                child_ok ? "clean/fail-closed" : "UNEXPECTED", silent);
+    std::printf("  -> %s\n", (silent == 0 && child_ok)
+                                 ? "every injected fault detected or "
+                                   "safely denied"
+                                 : "CHAOS FAILURE: silent acceptance");
+    return (silent == 0 && child_ok) ? 0 : 1;
 }
 
 } // namespace
@@ -160,12 +234,21 @@ int
 main(int argc, char **argv)
 {
     telemetry::handleBenchArgs(argc, argv);
+    faultinject::handleArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     long duration_secs = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
+    }
+    if (faultinject::armed() && duration_secs <= 0) {
+        // The one-shot demo spins until it sees the Syscall message,
+        // which an injected drop could lose forever; chaos runs use the
+        // streaming pipeline (send timeouts, audit, bounded duration).
+        std::fprintf(stderr,
+                     "faultinject armed: using streaming mode (2s)\n");
+        duration_secs = 2;
     }
 
     XprocChannel channel(1 << 10);

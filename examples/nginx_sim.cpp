@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "faultinject/fault.h"
 #include "telemetry/telemetry.h"
 #include "workloads/runner.h"
 
@@ -21,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     telemetry::handleBenchArgs(argc, argv);
+    faultinject::handleArgs(argc, argv);
     setLogLevel(LogLevel::Error);
 
     double scale = 1.0;
@@ -55,5 +57,18 @@ main(int argc, char **argv)
                 "handler pointers and\nends in a system call, so both "
                 "the pointer checks and the System-Call\n"
                 "synchronization are on the hot path.\n");
+
+    if (faultinject::armed()) {
+        // Single-process workload: faults and detectors share one
+        // registry, so the silent-accept audit runs directly.
+        const int silent = faultinject::emitAuditRecords();
+        std::printf("\nchaos: [%s]\n",
+                    faultinject::FaultPlan::instance().describe().c_str());
+        std::printf("chaos: silent accepts %d -> %s\n", silent,
+                    silent == 0 ? "every injected fault detected or "
+                                  "safely denied"
+                                : "CHAOS FAILURE");
+        return silent == 0 ? 0 : 1;
+    }
     return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Chaos sweep: run the cross-process demo under a battery of fault
+# specs and fail if any injected fault class is silently accepted.
+#
+# Every spec drives build/examples/cross_process in streaming mode with
+# sequence + CRC checking on. The binary itself audits each run (child
+# injections folded into the parent via the fault report, see
+# docs/fault_injection.md) and exits non-zero on a silent accept; this
+# script additionally greps the per-run event logs so a silent_accept
+# record can never slip through a wrong exit code, and schema-checks
+# the records it produced.
+#
+# Usage: scripts/chaos_run.sh [DURATION_SECS] [OUT_DIR]
+#   DURATION_SECS  per-spec run length (default 2)
+#   OUT_DIR        where event logs land (default bench/results/chaos)
+#   HQ_CHAOS_BIN   cross_process binary (default build/examples/...),
+#                  e.g. a sanitizer tree's examples/cross_process
+set -u -o pipefail
+
+DURATION="${1:-2}"
+OUT_DIR="${2:-bench/results/chaos}"
+BIN="${HQ_CHAOS_BIN:-build/examples/cross_process}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "chaos_run: $BIN not built (cmake --build build)" >&2
+    exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# One entry per fault class worth sweeping, plus a combined run. The
+# latency-only sites (transport_delay, verifier_slow_poll) must perturb
+# timing without ever costing a message; the lossy sites must each be
+# caught by a detector (sequence gap, CRC, back-pressure counters).
+SPECS=(
+    "seed=7,ring_drop:0.01"
+    "seed=7,ring_dup:0.01"
+    "seed=7,ring_corrupt:0.005"
+    "seed=7,ring_stall:1:20000:256"
+    "seed=7,transport_delay:0.02"
+    "seed=7,verifier_slow_poll:0.05"
+    "seed=7,ring_drop:0.005,ring_corrupt:0.002,transport_delay:0.01"
+)
+
+failures=0
+run=0
+for spec in "${SPECS[@]}"; do
+    run=$((run + 1))
+    log="$OUT_DIR/chaos_${run}.events.jsonl"
+    echo "=== chaos run $run/${#SPECS[@]}: --fault-spec=$spec"
+    if ! "$BIN" --duration="$DURATION" --fault-spec="$spec" \
+            --event-log="$log"; then
+        echo "chaos_run: FAILED (exit) spec=$spec" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if [[ -f "$log" ]] && grep -q '"type":"silent_accept"' "$log"; then
+        echo "chaos_run: FAILED (silent_accept record) spec=$spec" >&2
+        grep '"type":"silent_accept"' "$log" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# Schema-check whatever the sweep wrote: every line valid JSON, fixed
+# key order, known record type.
+python3 - "$OUT_DIR" <<'EOF'
+import glob, json, sys
+keys = ["type", "ts_wall_ms", "ts_ns", "pid", "op",
+        "arg0", "arg1", "seq", "lag_ns", "reason"]
+kinds = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
+         "corrupt_msg", "verifier_restart", "silent_accept"}
+n = 0
+for path in sorted(glob.glob(sys.argv[1] + "/chaos_*.events.jsonl")):
+    for line in open(path):
+        record = json.loads(line)
+        assert list(record) == keys, f"key order: {list(record)}"
+        assert record["type"] in kinds, record["type"]
+        n += 1
+print(f"chaos event logs ok: {n} records")
+EOF
+schema_rc=$?
+
+if [[ $failures -gt 0 || $schema_rc -ne 0 ]]; then
+    echo "chaos_run: $failures failing spec(s), schema rc=$schema_rc" >&2
+    exit 1
+fi
+echo "chaos_run: all ${#SPECS[@]} specs detected or safely denied"

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Deterministic fault injection for the HerQules enforcement channel.
+ *
+ * HerQules' security argument is *fail closed*: if AppendWrite messages
+ * are lost, duplicated, corrupted or delayed -- or the verifier dies --
+ * the kernel module must keep the monitored program paused at syscalls
+ * and eventually deny them (PAPER.md section 4, 6.1). This subsystem
+ * makes those failures reproducible on demand so tests and chaos runs
+ * can assert recovery or safe denial, never silent acceptance.
+ *
+ * Design goals, in order:
+ *  1. Zero cost when disabled. Every injection point is guarded by
+ *     `faultinject::fire(site)`, whose inline fast path is one relaxed
+ *     atomic load of a process-global `armed` flag (the same discipline
+ *     as `telemetry::enabled()`), so the <2% disabled-overhead ctest
+ *     gate still holds.
+ *  2. Deterministic. Each site owns an independent xorshift64 stream
+ *     seeded from splitmix64(seed ^ site); replaying the same spec +
+ *     seed against the same workload fires the same faults.
+ *  3. Thread-safe arming. All per-site state is relaxed atomics so a
+ *     test can arm/disarm while worker threads run (TSan-clean).
+ *
+ * Spec grammar (CLI `--fault-spec=...` or env `HQ_FAULT_SPEC`):
+ *
+ *     spec    := entry ("," entry)*
+ *     entry   := "seed=" N | site ":" rate [":" after_n [":" max_fires]]
+ *     rate    := probability in [0,1]; 1 fires on every eligible event
+ *     after_n := skip the first N eligible events (default 0)
+ *     max_fires := stop after N injections; 0 = unlimited (default)
+ *
+ * e.g. `--fault-spec=seed=7,ring_drop:0.01,verifier_crash:1:500:1`
+ * drops ~1% of ring pushes and crashes the verifier exactly once, at
+ * the 501st message it handles.
+ */
+
+#ifndef HQ_FAULTINJECT_FAULT_H
+#define HQ_FAULTINJECT_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hq {
+
+struct Message;
+
+namespace faultinject {
+
+/** Every injection point in the enforcement pipeline. */
+enum class Site : int {
+    // SPSC / xproc ring push path.
+    RingDrop = 0,     //!< push "succeeds" but the slot is never written
+    RingDup,          //!< message stored twice under one send
+    RingCorrupt,      //!< one bit flipped in the stored message
+    RingStall,        //!< push reports full even when there is room
+    // Channel transports (socket/pipe/mq send path).
+    TransportError,   //!< simulated EAGAIN / short write on one attempt
+    TransportDelay,   //!< latency spike before the transport send
+    // FPGA AFU device model.
+    AfuOverflow,      //!< host ring treated as full: message dropped
+    AfuDoorbellDelay, //!< doorbell serviced late (delayed visibility)
+    // Kernel module model.
+    KernelLostNotify, //!< verifier's syscallResume never lands
+    KernelSpuriousWake, //!< waiter wakes early without sync_ok
+    KernelEpochDelay, //!< epoch advance delayed by one extra period
+    // Verifier event loop.
+    VerifierCrash,    //!< verifier dies while handling a message
+    VerifierSlowPoll, //!< poll pass starts late
+    NumSites,
+};
+
+constexpr int kNumSites = static_cast<int>(Site::NumSites);
+
+/** Stable lowercase name used in specs, counters and docs. */
+const char *siteName(Site site);
+
+/** Parse a spec-grammar site name; false if unknown. */
+bool siteFromName(const std::string &name, Site &out);
+
+/** Latency-only sites never lose information, so the silent-accept
+ *  audit does not require a detector to have fired for them. */
+bool siteIsLatencyOnly(Site site);
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+} // namespace detail
+
+/** True iff any fault site is armed. One relaxed load; inline. */
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Process-wide fault plan: per-site probability / trigger-count state.
+ *
+ * Probabilities are stored as 64-bit fixed point (threshold =
+ * rate * 2^64) so the per-event decision is one xorshift64 draw and an
+ * unsigned compare -- no floating point on the injection path.
+ */
+class FaultPlan
+{
+  public:
+    static constexpr std::uint64_t kDefaultSeed = 0x48515155; //!< "HQQU"
+
+    static FaultPlan &instance();
+
+    /**
+     * Reset, then parse and apply a full spec string (grammar above).
+     * Arms the global flag iff at least one site was configured.
+     * On parse error the plan is left fully disarmed.
+     */
+    Status configure(const std::string &spec);
+
+    /** Arm one site programmatically (tests). rate in [0,1]. */
+    void arm(Site site, double rate, std::uint64_t after_n = 0,
+             std::uint64_t max_fires = 0);
+
+    /** Disarm every site and clear all counters; drops the global flag. */
+    void reset();
+
+    /** Set the base seed and re-derive every site's RNG stream.
+     *  Also resets eligible/injected counts so a replay is exact. */
+    void setSeed(std::uint64_t seed);
+    std::uint64_t seed() const { return _seed.load(std::memory_order_relaxed); }
+
+    /**
+     * The per-event decision: counts the event as eligible, then
+     * returns true iff the fault should be injected here. Called only
+     * when armed() -- use the free function `fire()` from hot paths.
+     */
+    bool fire(Site site);
+
+    /** How many times `site` was actually injected / was eligible. */
+    std::uint64_t injected(Site site) const;
+    std::uint64_t eligible(Site site) const;
+
+    /** Fold a forked child's counts into this plan so the parent's
+     *  emitAuditRecords() judges the whole process tree. */
+    void addCounts(Site site, std::uint64_t injected,
+                   std::uint64_t eligible);
+
+    /** Deterministic 64-bit stream shared by corruption helpers. */
+    std::uint64_t randomBits();
+
+    /** Human-readable one-line summary of the armed sites. */
+    std::string describe() const;
+
+  private:
+    struct SiteState
+    {
+        std::atomic<std::uint64_t> threshold{0}; //!< rate * 2^64; 0 = off
+        std::atomic<std::uint64_t> after_n{0};
+        std::atomic<std::uint64_t> max_fires{0}; //!< 0 = unlimited
+        std::atomic<std::uint64_t> eligible{0};
+        std::atomic<std::uint64_t> injected{0};
+        std::atomic<std::uint64_t> rng{1};
+        void *counter = nullptr; //!< telemetry::Counter*, resolved at arm
+    };
+
+    FaultPlan();
+
+    void reseedSites();
+    void refreshArmed();
+
+    std::atomic<std::uint64_t> _seed{kDefaultSeed};
+    std::atomic<std::uint64_t> _shared_rng{1};
+    SiteState _sites[kNumSites];
+};
+
+/**
+ * Hot-path gate: false (one relaxed load) when nothing is armed,
+ * otherwise consult the plan. Never throws, never allocates.
+ */
+inline bool
+fire(Site site)
+{
+    return armed() && FaultPlan::instance().fire(site);
+}
+
+/** Flip one deterministically chosen bit anywhere in the message
+ *  (including the CRC field -- every flip must be detectable). */
+void corrupt(Message &message);
+
+/** configure() on the singleton; arms the global flag on success. */
+Status configureFromSpec(const std::string &spec);
+
+/** reset() on the singleton (test teardown). */
+void disarmAll();
+
+/**
+ * Strip `--fault-spec=SPEC` from argv (mirrors
+ * telemetry::handleBenchArgs); falls back to env HQ_FAULT_SPEC. A
+ * malformed spec is a hard error (exit 2): a chaos run must never
+ * silently degrade into a fault-free run.
+ */
+void handleArgs(int &argc, char **argv);
+
+/**
+ * Silent-accept audit: for every armed, non-latency-only site that
+ * actually injected faults, check that at least one matching detector
+ * counter moved (verifier violations, epoch timeouts, FPGA drops,
+ * transport send errors, ...). Emits one `silent_accept` event-log
+ * record per undetected class (when an event log is active) and
+ * returns the number of silently accepted classes -- 0 means every
+ * injected fault class was caught or safely denied.
+ */
+int emitAuditRecords();
+
+/**
+ * Snapshot the current values of every detector counter the audit
+ * consults, so emitAuditRecords() judges only what happened after this
+ * point. Called automatically by FaultPlan::reset()/configure();
+ * exposed for tests that arm sites without reconfiguring.
+ */
+void captureDetectorBaselines();
+
+/**
+ * Cross-process audit plumbing. In a fork()-based deployment the
+ * faults fire in the monitored child while the detectors (verifier
+ * violations, epoch timeouts) live in the verifier parent, so neither
+ * process alone can run a meaningful silent-accept audit. The child
+ * serializes its side at exit and hands it back (pipe, file); the
+ * parent absorbs it, making its plan counts and detector deltas cover
+ * the whole tree, then runs emitAuditRecords() as usual.
+ */
+
+/** Serialize this process's injected/eligible counts and
+ *  detector-counter deltas (relative to the captured baselines). */
+std::string exportCrossProcessReport();
+
+/** Parse a child's report: injected counts fold into the plan,
+ *  detector deltas add onto this process's registry counters.
+ *  @return false when the report is malformed (audit must then be
+ *          treated as failed, not skipped). */
+bool absorbCrossProcessReport(const std::string &report);
+
+} // namespace faultinject
+} // namespace hq
+
+#endif // HQ_FAULTINJECT_FAULT_H

@@ -1,7 +1,9 @@
 #include "fpga/afu.h"
 
 #include <chrono>
+#include <thread>
 
+#include "faultinject/fault.h"
 #include "ipc/message.h"
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
@@ -84,8 +86,19 @@ FpgaAfu::mmioWrite(std::uint32_t offset, std::uint64_t data)
         }
         message.pid = _pid_register.load(std::memory_order_relaxed);
         message.seq = _next_seq++;
+        // Device-side CRC stamp: the AFU owns pid/seq, so it computes
+        // the checksum last; host-side corruption is then detectable.
+        message.pad = messageCrc(message);
 
-        if (!_host_buffer.tryPush(message)) {
+        if (faultinject::fire(faultinject::Site::AfuDoorbellDelay)) {
+            // Doorbell serviced late: the message becomes visible to
+            // the host only after the delay (pure latency fault).
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+
+        const bool overflow =
+            faultinject::fire(faultinject::Site::AfuOverflow);
+        if (overflow || !_host_buffer.tryPush(message)) {
             // No back-pressure mechanism: the message is lost. The
             // verifier will observe a gap in the sequence counter and
             // must terminate the monitored program (integrity violation).

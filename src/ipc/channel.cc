@@ -1,13 +1,16 @@
 /**
  * @file
- * Template-method send() wrapper: lag stamping and flow-event emission
- * shared by every channel transport.
+ * Template-method send() wrapper: sequence + CRC stamping, lag stamping
+ * and flow-event emission shared by every channel transport.
  */
 
 #include "ipc/channel.h"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
+#include "faultinject/fault.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -23,6 +26,7 @@ namespace {
 constexpr std::size_t kDefaultLagCapacity = 4096;
 
 HQ_TELEMETRY_HANDLE(stampDropped, Counter, "ipc.lag_stamp_dropped")
+HQ_TELEMETRY_HANDLE(sendErrors, Counter, "ipc.send_errors")
 
 std::uint32_t
 nextChannelId()
@@ -38,8 +42,21 @@ Channel::Channel() : _channel_id(nextChannelId()) {}
 Status
 Channel::send(const Message &message)
 {
+    // Stamp the wire integrity fields once, for every transport: the
+    // sender-side sequence makes drops/duplicates detectable on
+    // software channels (the FPGA AFU restamps with its own counter),
+    // and the CRC guard makes bit-flips detectable instead of
+    // mis-verifiable. Both sides of the overhead A/B gate pay the same
+    // stamping cost, so the <2% disabled-overhead claim is unaffected.
+    Message stamped = message;
+    stamped.seq = static_cast<std::uint32_t>(_send_count);
+    stamped.pad = messageCrc(stamped);
+
+    if (faultinject::fire(faultinject::Site::TransportDelay))
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+
     if (!telemetry::enabled()) {
-        Status status = sendImpl(message);
+        Status status = sendImpl(stamped);
         // Keep the sidecar sequence aligned with delivered-message
         // count even while disabled, so a mid-run enable produces
         // matchable envelopes instead of permanently stale ones.
@@ -50,15 +67,19 @@ Channel::send(const Message &message)
 
     const std::uint64_t enqueue_ns = telemetry::monotonicRawNs();
     telemetry::TraceScope scope("ipc.send");
-    Status status = sendImpl(message);
+    Status status = sendImpl(stamped);
     if (status.isOk()) {
         const std::uint64_t seq = _send_count++;
-        if (!_lag)
+        if (!_lag) {
             _lag = std::make_unique<telemetry::LagSidecar>(
                 kDefaultLagCapacity);
+            _lag_ptr.store(_lag.get(), std::memory_order_release);
+        }
         if (!_lag->stamp(seq, enqueue_ns))
             stampDropped().inc();
         telemetry::traceFlowBegin("lag", lagFlowId(_channel_id, seq));
+    } else {
+        sendErrors().inc();
     }
     return status;
 }

@@ -12,6 +12,7 @@
 #ifndef HQ_IPC_CHANNEL_H
 #define HQ_IPC_CHANNEL_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -91,8 +92,15 @@ class Channel
      * message has been stamped yet (telemetry disabled). The verifier
      * matches envelopes by sequence number, so a null or partially
      * populated sidecar degrades to "no lag sample", never a wrong one.
+     * Read with acquire: the producer creates the sidecar lazily on
+     * its first stamped send and publishes it with a release store, so
+     * a consumer thread that sees the pointer sees a constructed ring.
      */
-    telemetry::LagSidecar *lagSidecar() const { return _lag.get(); }
+    telemetry::LagSidecar *
+    lagSidecar() const
+    {
+        return _lag_ptr.load(std::memory_order_acquire);
+    }
 
     /** Messages stamped through send() so far (the sidecar sequence). */
     std::uint64_t sendCount() const { return _send_count; }
@@ -110,12 +118,16 @@ class Channel
     void installLagSidecar(std::unique_ptr<telemetry::LagSidecar> sidecar)
     {
         _lag = std::move(sidecar);
+        _lag_ptr.store(_lag.get(), std::memory_order_release);
     }
 
   private:
     std::uint32_t _channel_id;
     std::uint64_t _send_count = 0;
+    /// _lag owns; _lag_ptr publishes (release on create, acquire in
+    /// lagSidecar()) so the verifier thread can race the lazy creation.
     std::unique_ptr<telemetry::LagSidecar> _lag;
+    std::atomic<telemetry::LagSidecar *> _lag_ptr{nullptr};
 };
 
 /** Perfetto flow-event id for (channel, sequence). */

@@ -7,14 +7,19 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/log.h"
+#include "faultinject/fault.h"
+#include "telemetry/telemetry.h"
 
 namespace hq {
 
 namespace {
+
+HQ_TELEMETRY_HANDLE(sendRetriesCounter, Counter, "ipc.send_retries")
 
 /** Unique suffix so parallel tests do not collide on queue names. */
 std::string
@@ -23,6 +28,37 @@ uniqueQueueName()
     static std::atomic<std::uint64_t> counter{0};
     return "/hq-mq-" + std::to_string(::getpid()) + "-" +
            std::to_string(counter.fetch_add(1));
+}
+
+/**
+ * Bounded retry-with-backoff for transient transport failures (full
+ * datagram buffers, injected EAGAINs). The first attempts just yield;
+ * later ones sleep exponentially up to 512us. 256 attempts give the
+ * verifier ~100ms to drain before the sender fails closed — a live
+ * verifier drains a full buffer in well under that, so only a dead or
+ * wedged enforcement channel ever exhausts the budget.
+ */
+constexpr int kMaxSendAttempts = 256;
+
+void
+sendBackoff(int attempt)
+{
+    if (telemetry::enabled())
+        sendRetriesCounter().inc();
+    if (attempt < 16) {
+        std::this_thread::yield();
+        return;
+    }
+    const int shift = std::min(attempt - 16, 9); // 1us .. 512us
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << shift));
+}
+
+Status
+retryBudgetExhausted(const char *transport)
+{
+    return Status::error(StatusCode::Unavailable,
+                         std::string(transport) +
+                             " send: retry budget exhausted (fail closed)");
 }
 
 } // namespace
@@ -78,18 +114,25 @@ MqChannel::sendImpl(const Message &message)
 {
     if (_send_queue == static_cast<mqd_t>(-1))
         return Status::error(StatusCode::Unavailable, "mq not open");
-    for (;;) {
+    for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+        if (faultinject::fire(faultinject::Site::TransportError)) {
+            sendBackoff(attempt);
+            continue; // simulated transient mq_send failure
+        }
         const int rc = mq_send(_send_queue,
                                reinterpret_cast<const char *>(&message),
                                sizeof(message), 0);
         if (rc == 0)
             return Status::ok();
-        if (errno == EINTR)
+        if (errno == EINTR || errno == EAGAIN) {
+            sendBackoff(attempt);
             continue;
+        }
         return Status::error(StatusCode::Internal,
                              std::string("mq_send: ") +
                                  std::strerror(errno));
     }
+    return retryBudgetExhausted("mq");
 }
 
 bool
@@ -147,17 +190,24 @@ PipeChannel::sendImpl(const Message &message)
 {
     if (_write_fd < 0)
         return Status::error(StatusCode::Unavailable, "pipe not open");
-    for (;;) {
+    for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+        if (faultinject::fire(faultinject::Site::TransportError)) {
+            sendBackoff(attempt);
+            continue; // simulated short write / transient error
+        }
         // sizeof(Message) < PIPE_BUF, so the write is atomic.
         const ssize_t n = ::write(_write_fd, &message, sizeof(message));
         if (n == sizeof(message))
             return Status::ok();
-        if (n < 0 && errno == EINTR)
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+            sendBackoff(attempt);
             continue;
+        }
         return Status::error(StatusCode::Internal,
                              std::string("pipe write: ") +
                                  std::strerror(errno));
     }
+    return retryBudgetExhausted("pipe");
 }
 
 bool
@@ -214,20 +264,25 @@ SocketChannel::sendImpl(const Message &message)
 {
     if (_send_fd < 0)
         return Status::error(StatusCode::Unavailable, "socket not open");
-    for (;;) {
+    for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+        if (faultinject::fire(faultinject::Site::TransportError)) {
+            sendBackoff(attempt);
+            continue; // simulated EAGAIN
+        }
         const ssize_t n = ::send(_send_fd, &message, sizeof(message), 0);
         if (n == sizeof(message))
             return Status::ok();
         if (n < 0 && (errno == EINTR || errno == ENOBUFS ||
                       errno == EAGAIN)) {
             // Datagram buffer full: wait for the verifier to drain.
-            std::this_thread::yield();
+            sendBackoff(attempt);
             continue;
         }
         return Status::error(StatusCode::Internal,
                              std::string("socket send: ") +
                                  std::strerror(errno));
     }
+    return retryBudgetExhausted("socket");
 }
 
 bool

@@ -14,8 +14,14 @@ ShmChannel::ShmChannel(std::size_t capacity)
 Status
 ShmChannel::sendImpl(const Message &message)
 {
-    while (!_ring.tryPush(message))
+    std::uint64_t spins = 0;
+    while (!_ring.tryPush(message)) {
+        if (_max_send_spins != 0 && ++spins >= _max_send_spins)
+            return Status::error(
+                StatusCode::Unavailable,
+                "shm ring full: send spin budget exhausted (fail closed)");
         std::this_thread::yield();
+    }
     return Status::ok();
 }
 

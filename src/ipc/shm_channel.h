@@ -35,9 +35,17 @@ class ShmChannel : public Channel
      */
     bool corruptOldestPending(const Message &forged);
 
+    /**
+     * Bound the full-ring spin in sendImpl: after `limit` failed push
+     * attempts the send returns Unavailable (fail closed) instead of
+     * spinning forever on a dead consumer. 0 (default) = unbounded.
+     */
+    void setSendSpinLimit(std::uint64_t limit) { _max_send_spins = limit; }
+
   private:
     SpscRing _ring;
     ChannelTraits _traits;
+    std::uint64_t _max_send_spins = 0;
 };
 
 } // namespace hq

@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "common/bits.h"
+#include "faultinject/fault.h"
 #include "telemetry/telemetry.h"
 
 namespace hq {
@@ -27,6 +28,14 @@ SpscRing::SpscRing(std::size_t min_capacity)
 bool
 SpscRing::tryPush(const Message &message)
 {
+    if (faultinject::armed())
+        return pushWithFaults(message);
+    return pushSlot(message);
+}
+
+bool
+SpscRing::pushSlot(const Message &message)
+{
     const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
     if (tail - _cached_head > _mask) {
         // Apparently full: refresh the cached consumer cursor. This is
@@ -46,11 +55,43 @@ SpscRing::tryPush(const Message &message)
     return true;
 }
 
+bool
+SpscRing::pushWithFaults(const Message &message)
+{
+    namespace fi = faultinject;
+    if (fi::fire(fi::Site::RingStall)) {
+        // Ring pretends to be full: the producer sees back-pressure and
+        // must retry or surface the failure (never silent loss).
+        if (telemetry::enabled())
+            pushFailCounter().inc();
+        return false;
+    }
+    if (fi::fire(fi::Site::RingDrop))
+        return true; // "accepted", but the slot is never written
+    Message payload = message;
+    if (fi::fire(fi::Site::RingCorrupt))
+        fi::corrupt(payload);
+    const bool duplicate = fi::fire(fi::Site::RingDup);
+    if (!pushSlot(payload))
+        return false;
+    if (duplicate)
+        pushSlot(payload); // best effort: dup is lost if the ring fills
+    return true;
+}
+
 std::size_t
 SpscRing::tryPushBatch(const Message *messages, std::size_t count)
 {
     if (count == 0)
         return 0;
+    if (faultinject::armed()) {
+        // Degrade to per-message pushes so every message passes through
+        // the injection points individually.
+        std::size_t pushed = 0;
+        while (pushed < count && pushWithFaults(messages[pushed]))
+            ++pushed;
+        return pushed;
+    }
     const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
     std::uint64_t free_slots = capacity() - (tail - _cached_head);
     if (free_slots < count) {

@@ -84,6 +84,13 @@ class SpscRing
     std::size_t capacity() const { return _mask + 1; }
 
   private:
+    /** The real push (fault-free fast path body). */
+    bool pushSlot(const Message &message);
+
+    /** Cold path taken while fault injection is armed: may drop,
+     *  duplicate, bit-flip or stall the push (ring_* fault sites). */
+    bool pushWithFaults(const Message &message);
+
     std::vector<Message> _slots;
     std::size_t _mask;
     /// Consumer-owned line: consumer cursor + its cache of the producer

@@ -8,6 +8,7 @@
 
 #include "common/bits.h"
 #include "common/log.h"
+#include "faultinject/fault.h"
 #include "telemetry/telemetry.h"
 
 namespace hq {
@@ -58,30 +59,67 @@ XprocChannel::~XprocChannel()
 Status
 XprocChannel::sendImpl(const Message &message)
 {
+    namespace fi = faultinject;
     if (!_region)
         return Status::error(StatusCode::Unavailable, "no mapping");
+
+    Message payload = message;
+    if (fi::armed()) {
+        if (fi::fire(fi::Site::RingDrop))
+            return Status::ok(); // "sent", but the slot is never written
+        if (fi::fire(fi::Site::RingCorrupt))
+            fi::corrupt(payload);
+    }
+
     const std::uint64_t mask = _region->capacity - 1;
     bool counted_full = false;
+    bool deadline_set = false;
+    std::chrono::steady_clock::time_point deadline;
     for (;;) {
+        // An injected stall makes this iteration see a full ring even
+        // when there is room, exercising the back-pressure path.
+        const bool stalled = fi::fire(fi::Site::RingStall);
         const std::uint64_t tail =
             _region->tail.load(std::memory_order_relaxed);
-        if (tail - _cached_head > mask) {
-            // Apparently full: refresh the cached consumer cursor from
-            // the shared region (one cross-process cache-line load).
-            _cached_head = _region->head.load(std::memory_order_acquire);
-        }
-        if (tail - _cached_head <= mask) {
-            _region->slots[tail & mask] = message;
-            _region->tail.store(tail + 1, std::memory_order_release);
-            if (telemetry::enabled())
-                xprocOccupancyGauge().set(tail + 1 - _cached_head);
-            return Status::ok();
+        if (!stalled) {
+            if (tail - _cached_head > mask) {
+                // Apparently full: refresh the cached consumer cursor
+                // from the shared region (one cross-process load).
+                _cached_head =
+                    _region->head.load(std::memory_order_acquire);
+            }
+            if (tail - _cached_head <= mask) {
+                _region->slots[tail & mask] = payload;
+                std::uint64_t advance = 1;
+                if (fi::armed() && tail + 1 - _cached_head <= mask &&
+                    fi::fire(fi::Site::RingDup)) {
+                    _region->slots[(tail + 1) & mask] = payload;
+                    advance = 2;
+                }
+                _region->tail.store(tail + advance,
+                                    std::memory_order_release);
+                if (telemetry::enabled())
+                    xprocOccupancyGauge().set(tail + advance -
+                                              _cached_head);
+                return Status::ok();
+            }
         }
         // Full: wait for the verifier process to drain. (Count each
         // send that stalled once, not every polling iteration.)
         if (!counted_full && telemetry::enabled()) {
             xprocFullWaitsCounter().inc();
             counted_full = true;
+        }
+        if (_send_timeout.count() > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            if (!deadline_set) {
+                deadline = now + _send_timeout;
+                deadline_set = true;
+            } else if (now >= deadline) {
+                return Status::error(
+                    StatusCode::Unavailable,
+                    "shared ring full: send timed out (fail closed)");
+            }
         }
         std::this_thread::yield();
     }

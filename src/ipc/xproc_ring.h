@@ -21,6 +21,7 @@
 #define HQ_IPC_XPROC_RING_H
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 
 #include "ipc/channel.h"
@@ -54,6 +55,18 @@ class XprocChannel : public Channel
     /** True when the mapping was created successfully. */
     bool valid() const { return _region != nullptr; }
 
+    /**
+     * Bound the full-ring wait in sendImpl. By default the sender waits
+     * forever for the verifier to drain (the paper's back-pressure
+     * semantics); with a timeout, a send that cannot complete returns
+     * Unavailable instead — fail closed rather than hang when the
+     * consumer is dead or stalled by fault injection.
+     */
+    void setSendTimeout(std::chrono::nanoseconds timeout)
+    {
+        _send_timeout = timeout;
+    }
+
     Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
@@ -64,6 +77,7 @@ class XprocChannel : public Channel
     XprocRingRegion *_region = nullptr;
     std::size_t _map_bytes = 0;
     ChannelTraits _traits;
+    std::chrono::nanoseconds _send_timeout{0}; //!< 0 = wait forever
     /// Cursor caches live in the channel object, NOT the shared region:
     /// after fork() each process owns a private copy, so the producer's
     /// cached head and the consumer's cached tail never cross the

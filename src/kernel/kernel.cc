@@ -1,6 +1,9 @@
 #include "kernel/kernel.h"
 
+#include <vector>
+
 #include "common/log.h"
+#include "faultinject/fault.h"
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -24,6 +27,42 @@ KernelModule::setListener(ProcessEventListener *listener)
 {
     std::lock_guard<std::mutex> guard(_mutex);
     _listener = listener;
+}
+
+void
+KernelModule::clearListener(ProcessEventListener *listener)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    if (_listener == listener)
+        _listener = nullptr;
+}
+
+std::size_t
+KernelModule::replayProcessesTo(ProcessEventListener *listener)
+{
+    if (listener == nullptr)
+        return 0;
+    std::vector<Pid> live;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        live.reserve(_processes.size());
+        for (const auto &[pid, context] : _processes) {
+            if (!context->killed)
+                live.push_back(pid);
+        }
+    }
+    for (Pid pid : live)
+        listener->onProcessEnabled(pid);
+    if (telemetry::EventLog::instance().active()) {
+        telemetry::EventRecord record;
+        record.type = telemetry::EventType::VerifierRestart;
+        record.arg0 = live.size();
+        record.reason = "verifier re-attached; live processes replayed";
+        telemetry::EventLog::instance().append(record);
+    }
+    logInfo("kernel: replayed ", live.size(),
+            " live process(es) to a restarted verifier");
+    return live.size();
 }
 
 std::shared_ptr<KernelModule::ProcessContext>
@@ -159,8 +198,20 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
 
     if (!context->sync_ok && !context->killed) {
         ++context->stats.waits;
+        auto epoch = _config.epoch;
+        if (faultinject::fire(faultinject::Site::KernelEpochDelay)) {
+            // Epoch advance delayed by one extra period: denial still
+            // happens, just later — fail closed is preserved.
+            epoch += _config.epoch;
+        }
+        if (faultinject::fire(faultinject::Site::KernelSpuriousWake)) {
+            // One predicate-less wait models a spurious wakeup; the
+            // predicate wait below re-checks and re-blocks, so a
+            // spurious wake must never turn into a spurious resume.
+            context->cv.wait_for(lock, std::chrono::microseconds(100));
+        }
         const bool signalled = context->cv.wait_for(
-            lock, _config.epoch,
+            lock, epoch,
             [&context] { return context->sync_ok || context->killed; });
         if (!signalled) {
             // No synchronization message within the epoch: treat as a
@@ -201,6 +252,12 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
 void
 KernelModule::syscallResume(Pid pid)
 {
+    if (faultinject::fire(faultinject::Site::KernelLostNotify)) {
+        // The verifier's resume never reaches the waiter: the paused
+        // syscall must eventually hit the epoch timeout (fail closed).
+        logDebug("kernel: injected lost notification for pid ", pid);
+        return;
+    }
     std::lock_guard<std::mutex> guard(_mutex);
     std::shared_ptr<ProcessContext> context = find(pid);
     if (!context)

@@ -91,6 +91,23 @@ class KernelModule
     /** Attach the verifier's event listener (module load order). */
     void setListener(ProcessEventListener *listener);
 
+    /**
+     * Detach `listener` iff it is the one currently attached. A dying
+     * verifier must use this instead of setListener(nullptr) so it
+     * cannot clobber the registration of a replacement verifier that
+     * already re-attached (crash-recovery path).
+     */
+    void clearListener(ProcessEventListener *listener);
+
+    /**
+     * Crash recovery: replay every live (non-killed) process to
+     * `listener` via onProcessEnabled, so a restarted verifier can
+     * rebuild its per-process policy state before it starts polling.
+     * Emits a `verifier_restart` event-log record when a log is active.
+     * @return number of processes replayed.
+     */
+    std::size_t replayProcessesTo(ProcessEventListener *listener);
+
     // --- Process lifecycle (invoked by the monitored runtime) --------
 
     /** A process enables HerQules during startup (step 1a). */

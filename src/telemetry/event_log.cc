@@ -25,6 +25,12 @@ eventTypeName(EventType type)
         return "epoch_timeout";
       case EventType::RingDrop:
         return "ring_drop";
+      case EventType::CorruptMsg:
+        return "corrupt_msg";
+      case EventType::VerifierRestart:
+        return "verifier_restart";
+      case EventType::SilentAccept:
+        return "silent_accept";
     }
     return "unknown";
 }

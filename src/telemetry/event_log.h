@@ -39,6 +39,9 @@ enum class EventType {
     SeqGap,       //!< FPGA sequence-counter gap (dropped messages)
     EpochTimeout, //!< no sync message within the kernel epoch
     RingDrop,     //!< message lost to a full no-back-pressure buffer
+    CorruptMsg,   //!< message failed its CRC guard (bit-flip detected)
+    VerifierRestart, //!< verifier re-attached and replayed live pids
+    SilentAccept, //!< injected fault class with no detector fired (audit)
 };
 
 const char *eventTypeName(EventType type);

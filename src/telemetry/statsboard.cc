@@ -25,6 +25,31 @@ copyName(char (&dst)[kStatsBoardNameLen], const std::string &src)
     dst[kStatsBoardNameLen - 1] = '\0';
 }
 
+static_assert(sizeof(StatsBoardSnapshot) % sizeof(std::uint64_t) == 0,
+              "seqlock copy moves whole 64-bit words");
+static_assert(alignof(StatsBoardSnapshot) >= alignof(std::uint64_t),
+              "seqlock copy requires word alignment");
+
+/**
+ * Word-wise copy through relaxed atomic accesses. The seqlock's write
+ * and read sides deliberately race on the snapshot payload (that is the
+ * whole point of a seqlock — torn copies are detected via the sequence
+ * counter and retried), but a plain memcpy makes that race undefined
+ * behavior and a TSan report. Copying 64-bit words with relaxed atomics
+ * keeps the race benign and defined; the release/acquire fences around
+ * the copy still order the words against the counter.
+ */
+void
+seqlockCopy(void *dst, const void *src, std::size_t bytes)
+{
+    auto *d = static_cast<std::uint64_t *>(dst);
+    const auto *s = static_cast<const std::uint64_t *>(src);
+    const std::size_t words = bytes / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < words; ++i)
+        __atomic_store_n(&d[i], __atomic_load_n(&s[i], __ATOMIC_RELAXED),
+                         __ATOMIC_RELAXED);
+}
+
 } // namespace
 
 void
@@ -127,7 +152,7 @@ StatsBoardWriter::publish(const StatsBoardSnapshot &snapshot)
     // Seqlock write side: odd counter marks the snapshot as in flux.
     _region->seq.store(seq + 1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
-    std::memcpy(&_region->snapshot, &snapshot, sizeof(snapshot));
+    seqlockCopy(&_region->snapshot, &snapshot, sizeof(snapshot));
     std::atomic_thread_fence(std::memory_order_release);
     _region->seq.store(seq + 2, std::memory_order_release);
     if (enabled())
@@ -186,7 +211,7 @@ StatsBoardReader::read(StatsBoardSnapshot &out) const
             // Writer mid-publish: spin.
             continue;
         }
-        std::memcpy(&out, &_region->snapshot, sizeof(out));
+        seqlockCopy(&out, &_region->snapshot, sizeof(out));
         std::atomic_thread_fence(std::memory_order_acquire);
         const std::uint64_t after =
             _region->seq.load(std::memory_order_acquire);

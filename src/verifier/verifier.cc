@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/log.h"
+#include "faultinject/fault.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -40,7 +42,10 @@ Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
 Verifier::~Verifier()
 {
     stop();
-    _kernel.setListener(nullptr);
+    // Detach only if we are still the registered listener: a
+    // replacement verifier may already have re-attached itself
+    // (crash-recovery path), and its registration must survive.
+    _kernel.clearListener(this);
 }
 
 void
@@ -66,12 +71,21 @@ Verifier::start()
 void
 Verifier::stop()
 {
-    if (!_running.exchange(false))
-        return;
+    const bool was_running = _running.exchange(false);
+    const bool was_crashed = _crashed.load(std::memory_order_relaxed);
+    // Always reap the event-loop thread: an injected crash clears
+    // _running from inside the loop, so the early-return shortcut of a
+    // plain "was it running" check would leak a joinable thread (and
+    // std::terminate in the destructor).
     if (_thread.joinable())
         _thread.join();
-    // Drain anything that arrived during shutdown.
-    poll();
+    if (!was_running && !was_crashed)
+        return;
+    // Drain anything that arrived during shutdown — unless the
+    // verifier crashed, in which case it drains nothing: its death is
+    // precisely what the kernel epoch timeout must catch.
+    if (!was_crashed)
+        poll();
     if (_config.kill_on_verifier_exit) {
         // Without a verifier no violations can be detected, so
         // monitored programs must not keep running (§3.4).
@@ -110,6 +124,11 @@ Verifier::eventLoop()
 std::size_t
 Verifier::poll()
 {
+    if (_crashed.load(std::memory_order_relaxed))
+        return 0; // a dead verifier verifies nothing
+    if (faultinject::fire(faultinject::Site::VerifierSlowPoll))
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+
     Message batch[kMaxPollBatch];
     const std::size_t batch_max =
         std::clamp<std::size_t>(_config.poll_batch, 1, kMaxPollBatch);
@@ -145,9 +164,12 @@ Verifier::poll()
                 recordBatchLag(entry, n, lag_ns);
 
             PidMemo memo;
-            for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t i = 0; i < n; ++i) {
                 handleMessage(entry, batch[i], memo,
                               telemetry_on ? lag_ns[i] : kNoLag);
+                if (_crashed.load(std::memory_order_relaxed))
+                    break; // messages behind the crash point are lost
+            }
             entry.recv_index += n;
 
             if (telemetry_on) {
@@ -160,7 +182,11 @@ Verifier::poll()
                         memo.entry->stats.max_entries);
             }
             processed += n;
+            if (_crashed.load(std::memory_order_relaxed))
+                break;
         }
+        if (_crashed.load(std::memory_order_relaxed))
+            break;
     }
     _total_messages.fetch_add(processed, std::memory_order_relaxed);
     if (processed > 0 && telemetry::enabled())
@@ -238,6 +264,35 @@ void
 Verifier::handleMessage(ChannelEntry &entry, const Message &message,
                         PidMemo &memo, std::uint64_t lag_ns)
 {
+    if (_crashed.load(std::memory_order_relaxed))
+        return;
+    if (faultinject::fire(faultinject::Site::VerifierCrash)) {
+        // The verifier dies mid-message: no further message is ever
+        // processed, no syscall ack is ever sent. The monitored
+        // program's next syscall must hit the kernel epoch timeout.
+        _crashed.store(true, std::memory_order_relaxed);
+        _running.store(false, std::memory_order_relaxed);
+        logWarn("verifier: injected crash while handling message ",
+                message.toString());
+        return;
+    }
+
+    // Integrity guard before anything trusts the payload: a CRC
+    // mismatch means bits flipped in flight, and a corrupted message
+    // must never be interpreted — not even its pid field. Attribute it
+    // to the channel's registered owner and fail closed (no processing,
+    // no syscall ack).
+    if (_config.check_crc && message.pad != messageCrc(message)) {
+        auto it = _processes.find(entry.owner);
+        if (it != _processes.end() && !it->second.exited) {
+            recordViolation(entry.owner, it->second,
+                            "message corruption detected (CRC mismatch)",
+                            message, telemetry::EventType::CorruptMsg,
+                            lag_ns);
+        }
+        return;
+    }
+
     // Authenticity: trust the hardware-stamped PID when present,
     // otherwise the kernel-arbitrated channel registration.
     const Pid pid = entry.device_stamped ? message.pid : entry.owner;
@@ -262,9 +317,13 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
     ++process.stats.messages;
 
     // Message-integrity: the FPGA path has no back-pressure, so the
-    // verifier requires consecutive sequence counters; a gap means
-    // messages were dropped and the program must be terminated.
-    if (_config.check_sequence && entry.device_stamped) {
+    // verifier requires consecutive sequence counters; software
+    // channels carry the send-wrapper's counter with the same contract.
+    // A gap means messages were dropped (or repeated) in flight and the
+    // program must be terminated. The first message observed on a
+    // channel establishes the baseline, so a restarted verifier resyncs
+    // to the live stream instead of reporting a spurious gap.
+    if (_config.check_sequence) {
         if (entry.seq_started &&
             message.seq != entry.expected_seq) {
             recordViolation(pid, process,

@@ -54,8 +54,22 @@ class Verifier : public ProcessEventListener
     {
         /** Ask the kernel to kill the process on a violation. */
         bool kill_on_violation = true;
-        /** Verify consecutive per-channel sequence counters (FPGA). */
+        /**
+         * Verify consecutive per-channel sequence counters. The FPGA
+         * AFU stamps its own device counter; software channels are
+         * stamped by the Channel::send wrapper — either way a gap or
+         * repeat means messages were dropped or duplicated in flight.
+         */
         bool check_sequence = false;
+        /**
+         * Verify the per-message CRC guard (Message::pad, stamped by
+         * Channel::send / the AFU). A mismatch is a CorruptMsg
+         * violation and the payload is never interpreted (fail
+         * closed) — so a flipped bit cannot be mis-verified as a valid
+         * policy message. Off by default: only chaos/fault runs and
+         * integrity tests need it.
+         */
+        bool check_crc = false;
         /**
          * Kill still-running monitored processes when the verifier
          * terminates (the paper's default for unexpected verifier
@@ -130,6 +144,17 @@ class Verifier : public ProcessEventListener
         return _total_messages.load(std::memory_order_relaxed);
     }
 
+    /**
+     * True once an injected VerifierCrash fault killed this verifier.
+     * A crashed verifier processes nothing further (poll() returns 0);
+     * recovery is a *new* Verifier re-attaching the channels and
+     * rebuilding state via KernelModule::replayProcessesTo.
+     */
+    bool crashed() const
+    {
+        return _crashed.load(std::memory_order_relaxed);
+    }
+
   private:
     struct ChannelEntry
     {
@@ -195,6 +220,7 @@ class Verifier : public ProcessEventListener
 
     std::thread _thread;
     std::atomic<bool> _running{false};
+    std::atomic<bool> _crashed{false};
     std::atomic<std::uint64_t> _total_messages{0};
 };
 

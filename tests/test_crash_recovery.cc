@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Verifier crash and restart: the fail-closed story end to end.
+ *
+ * HerQules' security argument requires that a dead verifier never
+ * silently degrades enforcement (§3.4): with nobody to ack System-Call
+ * messages, the kernel epoch timeout must deny the monitored program's
+ * next syscall. Recovery is a *new* verifier that re-attaches the
+ * channels, rebuilds per-process policy state via
+ * KernelModule::replayProcessesTo, and resyncs to the live sequence
+ * stream without reporting a spurious gap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "faultinject/fault.h"
+#include "ipc/shm_channel.h"
+#include "kernel/kernel.h"
+#include "policy/pointer_integrity.h"
+#include "telemetry/event_log.h"
+#include "verifier/verifier.h"
+
+namespace hq {
+namespace {
+
+namespace fi = faultinject;
+
+constexpr Pid kPid = 91;
+
+KernelModule::Config
+fastEpochConfig()
+{
+    KernelModule::Config config;
+    config.epoch = std::chrono::milliseconds(100);
+    config.spin = std::chrono::microseconds(10);
+    return config;
+}
+
+Verifier::Config
+checkingConfig()
+{
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    config.check_sequence = true;
+    return config;
+}
+
+class CrashRecoveryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fi::disarmAll(); }
+    void TearDown() override { fi::disarmAll(); }
+};
+
+TEST_F(CrashRecoveryTest, CrashAtMessageNStopsAllProcessing)
+{
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy, checkingConfig());
+    kernel.enableProcess(kPid);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    // Crash exactly while handling the 6th message.
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/5, /*max_fires=*/1);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::PointerDefine, 0x100 + i, i))
+                .isOk());
+    verifier.poll();
+
+    EXPECT_TRUE(verifier.crashed());
+    EXPECT_EQ(verifier.statsFor(kPid).messages, 5u)
+        << "messages past the crash point must not be processed";
+    // A dead verifier verifies nothing, ever.
+    ASSERT_TRUE(
+        channel.send(Message(Opcode::PointerCheck, 0x100, 0)).isOk());
+    EXPECT_EQ(verifier.poll(), 0u);
+}
+
+TEST_F(CrashRecoveryTest, SyscallAfterCrashIsDeniedWithinEpochTimeout)
+{
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy, checkingConfig());
+    kernel.enableProcess(kPid);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/0, /*max_fires=*/1);
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    verifier.poll();
+    ASSERT_TRUE(verifier.crashed());
+
+    // The System-Call message died with the verifier: no ack will ever
+    // arrive, so the pause must end in denial at the epoch — fail
+    // closed, bounded in time.
+    const auto start = std::chrono::steady_clock::now();
+    const Status status =
+        kernel.syscallEnter(kPid, 1, /*spin_fast_path=*/false);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::PolicyViolation);
+    EXPECT_EQ(kernel.statsFor(kPid).epoch_timeouts, 1u);
+    EXPECT_LE(elapsed, 10 * fastEpochConfig().epoch)
+        << "denial must arrive within a bounded number of epochs";
+}
+
+TEST_F(CrashRecoveryTest, RestartReplaysReattachesAndResyncsSequence)
+{
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    ShmChannel channel(1 << 10);
+
+    auto crashed = std::make_unique<Verifier>(kernel, policy,
+                                              checkingConfig());
+    kernel.enableProcess(kPid); // delivered to `crashed` (the listener)
+    crashed->attachChannel(&channel, kPid);
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/5, /*max_fires=*/1);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::PointerDefine, 0x100 + i, i))
+                .isOk());
+    crashed->poll();
+    ASSERT_TRUE(crashed->crashed());
+    fi::disarmAll();
+
+    // Restart: a new verifier takes over the kernel listener slot,
+    // rebuilds per-process policy contexts from the kernel's live set,
+    // and re-attaches the same channel.
+    Verifier restarted(kernel, policy, checkingConfig());
+    EXPECT_EQ(kernel.replayProcessesTo(&restarted), 1u);
+    restarted.attachChannel(&channel, kPid);
+
+    // New traffic continues the sender's sequence counter (the crashed
+    // verifier consumed seqs 0..9). The restarted verifier must adopt
+    // the live stream as its baseline, not report a spurious gap.
+    ASSERT_TRUE(
+        channel.send(Message(Opcode::PointerDefine, 0x500, 0xAA)).isOk());
+    ASSERT_TRUE(
+        channel.send(Message(Opcode::PointerCheck, 0x500, 0xAA)).isOk());
+    restarted.poll();
+    const auto stats = restarted.statsFor(kPid);
+    EXPECT_EQ(stats.messages, 2u);
+    EXPECT_EQ(stats.violations, 0u)
+        << "restart resync must not flag a false sequence gap";
+
+    // And enforcement is live again: a Syscall message gets acked and
+    // the kernel pause resolves to Ok.
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    restarted.poll();
+    const Status status =
+        kernel.syscallEnter(kPid, 1, /*spin_fast_path=*/false);
+    EXPECT_TRUE(status.isOk()) << status.toString();
+    EXPECT_EQ(restarted.statsFor(kPid).syscall_acks, 1u);
+
+    // The old verifier's destructor must not clobber the replacement's
+    // listener registration (clearListener is conditional).
+    crashed.reset();
+    kernel.exitProcess(kPid); // delivered to `restarted`, no crash
+}
+
+TEST_F(CrashRecoveryTest, ReplayEmitsVerifierRestartRecord)
+{
+    const std::string path =
+        ::testing::TempDir() + "crash_recovery_restart.jsonl";
+    ASSERT_TRUE(telemetry::EventLog::instance().open(path));
+
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    kernel.enableProcess(kPid);
+    Verifier restarted(kernel, policy, checkingConfig());
+    EXPECT_EQ(kernel.replayProcessesTo(&restarted), 1u);
+    telemetry::EventLog::instance().close();
+
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("\"type\":\"verifier_restart\""),
+              std::string::npos)
+        << contents;
+    std::remove(path.c_str());
+}
+
+TEST_F(CrashRecoveryTest, StopAndDestroyAfterCrashInEventLoopIsSafe)
+{
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    kernel.enableProcess(kPid);
+    ShmChannel channel(1 << 10);
+    {
+        Verifier verifier(kernel, policy, checkingConfig());
+        verifier.attachChannel(&channel, kPid);
+        verifier.start();
+
+        fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                      /*after_n=*/0, /*max_fires=*/1);
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::PointerDefine, 0x1, 0x2))
+                .isOk());
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (!verifier.crashed() &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_TRUE(verifier.crashed());
+
+        // The injected crash cleared _running from inside the event
+        // loop; stop() and the destructor must still join the thread
+        // instead of leaking it joinable (std::terminate).
+        verifier.stop();
+    } // destructor runs here — must not terminate
+    SUCCEED();
+}
+
+TEST_F(CrashRecoveryTest, KillOnVerifierExitKillsProcessesAfterCrash)
+{
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config = checkingConfig();
+    config.kill_on_verifier_exit = true;
+    Verifier verifier(kernel, policy, config);
+    kernel.enableProcess(kPid);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/0, /*max_fires=*/1);
+    ASSERT_TRUE(
+        channel.send(Message(Opcode::PointerDefine, 0x1, 0x2)).isOk());
+    verifier.poll();
+    ASSERT_TRUE(verifier.crashed());
+
+    // Without a verifier no violations can be detected: shutting down
+    // must take the monitored processes with it (paper §3.4 default).
+    verifier.stop();
+    EXPECT_TRUE(kernel.isKilled(kPid));
+    const Status status =
+        kernel.syscallEnter(kPid, 1, /*spin_fast_path=*/false);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::PolicyViolation);
+}
+
+} // namespace
+} // namespace hq

@@ -11,6 +11,7 @@
 #include <memory>
 #include <thread>
 
+#include "faultinject/fault.h"
 #include "fpga/fpga_channel.h"
 #include "ipc/shm_channel.h"
 #include "kernel/kernel.h"
@@ -477,6 +478,45 @@ TEST(Verifier, BatchSpanningMultipleProcessesUsesRightContext)
     verifier.poll();
     EXPECT_FALSE(verifier.hasViolation(1));
     EXPECT_TRUE(verifier.hasViolation(2)); // use-after-free for pid 2
+}
+
+TEST(Verifier, VerifierKilledMidEpochDeniesNextSyscall)
+{
+    // The monitored program sends its System-Call message and enters the
+    // syscall — but the verifier dies in between. Fail closed demands
+    // the pause ends in denial within the epoch, not a hang and never a
+    // spurious resume.
+    faultinject::disarmAll();
+    VerifierFixture fx; // 50ms epoch
+    Verifier verifier(fx.kernel, fx.policy);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, 1);
+    ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
+    verifier.start();
+
+    faultinject::FaultPlan::instance().arm(
+        faultinject::Site::VerifierCrash, 1.0, /*after_n=*/0,
+        /*max_fires=*/1);
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1)).isOk());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!verifier.crashed() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(verifier.crashed());
+
+    const auto start = std::chrono::steady_clock::now();
+    const Status status =
+        fx.kernel.syscallEnter(1, 1, /*spin_fast_path=*/false);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::PolicyViolation);
+    EXPECT_EQ(fx.kernel.statsFor(1).epoch_timeouts, 1u);
+    EXPECT_LE(elapsed, 10 * shortEpoch().epoch)
+        << "denial must arrive within a bounded number of epochs";
+
+    verifier.stop(); // must join the crashed loop without draining
+    faultinject::disarmAll();
 }
 
 TEST(Verifier, MaxEntriesTracksPolicyMetadata)

@@ -68,6 +68,10 @@ runPipelineSeconds()
 
 TEST(DisabledOverhead, StatsboardAndSidecarHooksStayUnderTwoPercent)
 {
+#ifdef HQ_SANITIZE_BUILD
+    GTEST_SKIP() << "timing gate is meaningless under sanitizer "
+                    "instrumentation";
+#endif
     telemetry::setEnabled(false);
 
     double best_ratio = 1e9;

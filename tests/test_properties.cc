@@ -8,14 +8,22 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "cfi/design.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
+#include "faultinject/fault.h"
 #include "ipc/spsc_ring.h"
+#include "ipc/xproc_ring.h"
+#include "telemetry/lag.h"
 #include "ir/builder.h"
 #include "ir/cfg.h"
 #include "ir/dominators.h"
@@ -73,6 +81,358 @@ INSTANTIATE_TEST_SUITE_P(
     CapacitySeedSweep, RingModelProperty,
     ::testing::Combine(::testing::Values<std::size_t>(1, 2, 8, 64, 1024),
                        ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// SPSC ring randomized *batch* transfers vs. deque reference
+// ---------------------------------------------------------------------
+
+class RingBatchProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(RingBatchProperty, BatchTransfersMatchDequeReference)
+{
+    const auto [capacity, seed] = GetParam();
+    SpscRing ring(capacity);
+    std::deque<std::uint64_t> model;
+    Rng rng(seed);
+
+    Message scratch[64];
+    for (int step = 0; step < 8000; ++step) {
+        if (rng.chance(0.55)) {
+            const std::size_t count =
+                static_cast<std::size_t>(rng.nextInRange(1, 64));
+            for (std::size_t i = 0; i < count; ++i)
+                scratch[i] = Message(Opcode::EventCount, rng.next());
+            const std::size_t pushed = ring.tryPushBatch(scratch, count);
+            const std::size_t room = ring.capacity() - model.size();
+            ASSERT_EQ(pushed, std::min(count, room)) << "step " << step;
+            for (std::size_t i = 0; i < pushed; ++i)
+                model.push_back(scratch[i].arg0);
+        } else {
+            const std::size_t count =
+                static_cast<std::size_t>(rng.nextInRange(1, 64));
+            const std::size_t popped = ring.tryPopBatch(scratch, count);
+            ASSERT_EQ(popped, std::min(count, model.size()))
+                << "step " << step;
+            for (std::size_t i = 0; i < popped; ++i) {
+                ASSERT_EQ(scratch[i].arg0, model.front());
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(ring.size(), model.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitySeedSweep, RingBatchProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 64, 256),
+                       ::testing::Values(5, 6)));
+
+// ---------------------------------------------------------------------
+// Ring capacity edges, with the fault-injection path engaged
+// ---------------------------------------------------------------------
+
+TEST(RingCapacityEdges, ExactCapacityThenOverflowWithInjectionArmed)
+{
+    faultinject::disarmAll();
+    // Armed but never firing (after_n beyond reach): every push runs the
+    // pushWithFaults cold path, so the capacity math is exercised under
+    // injection exactly as a chaos run would.
+    faultinject::FaultPlan::instance().arm(
+        faultinject::Site::RingStall, 1.0, /*after_n=*/1u << 30);
+    ASSERT_TRUE(faultinject::armed());
+
+    SpscRing ring(6); // rounds up to 8
+    ASSERT_EQ(ring.capacity(), 8u);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, i)))
+            << "push " << i << " of exactly capacity";
+    EXPECT_FALSE(ring.tryPush(Message(Opcode::EventCount, 8)))
+        << "capacity+1 must fail";
+    EXPECT_EQ(ring.size(), 8u);
+
+    // Drain one, push one: the ring must keep working at the wrap edge.
+    Message out;
+    for (int round = 0; round < 32; ++round) {
+        ASSERT_TRUE(ring.tryPop(out));
+        ASSERT_EQ(out.arg0, static_cast<std::uint64_t>(round));
+        ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, 8 + round)));
+        EXPECT_FALSE(ring.tryPush(Message(Opcode::EventCount, 999)));
+    }
+    faultinject::disarmAll();
+}
+
+TEST(RingCapacityEdges, SingleInjectedStallAtFullBoundaryRecovers)
+{
+    faultinject::disarmAll();
+    SpscRing ring(4);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, i)));
+
+    // One stall fires on the push into the last free slot: the caller
+    // sees transient back-pressure, retries, and the slot is filled —
+    // the stall must not corrupt the cursor math at the boundary.
+    faultinject::FaultPlan::instance().arm(faultinject::Site::RingStall,
+                                           1.0, /*after_n=*/0,
+                                           /*max_fires=*/1);
+    EXPECT_FALSE(ring.tryPush(Message(Opcode::EventCount, 3)));
+    ASSERT_TRUE(ring.tryPush(Message(Opcode::EventCount, 3)));
+    EXPECT_FALSE(ring.tryPush(Message(Opcode::EventCount, 4)))
+        << "ring is genuinely full now";
+    EXPECT_EQ(ring.size(), 4u);
+
+    Message out;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out.arg0, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_TRUE(ring.empty());
+    faultinject::disarmAll();
+}
+
+TEST(RingCapacityEdges, XprocSendTimesOutFailClosedWhenFullPastCapacity)
+{
+    faultinject::disarmAll();
+    XprocChannel channel(8);
+    ASSERT_TRUE(channel.valid());
+    channel.setSendTimeout(std::chrono::milliseconds(50));
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::EventCount, i)).isOk());
+    // capacity+1 with no consumer: bounded wait, then explicit failure.
+    const Status status = channel.send(Message(Opcode::EventCount, 8));
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::Unavailable);
+    // The overflow send must not have scribbled over queued messages.
+    Message out;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(channel.tryRecv(out));
+        EXPECT_EQ(out.arg0, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_FALSE(channel.tryRecv(out));
+}
+
+// ---------------------------------------------------------------------
+// Cross-process ring producer/consumer soak (the TSan target)
+// ---------------------------------------------------------------------
+
+class XprocSoakProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(XprocSoakProperty, ConcurrentProducerConsumerPreservesOrder)
+{
+    // Threads stand in for the two processes (the mapping is
+    // MAP_SHARED either way); TSan sees every cross-cursor access.
+    constexpr std::uint64_t kMessages = 20000;
+    XprocChannel channel(64); // small: constant wrap + full/empty races
+    ASSERT_TRUE(channel.valid());
+    channel.setSendTimeout(std::chrono::seconds(10));
+
+    Rng rng(GetParam());
+    const std::uint64_t burst_mod = 1 + rng.nextBelow(7);
+    std::atomic<bool> failed{false};
+
+    std::thread producer([&channel, &failed] {
+        for (std::uint64_t i = 0; i < kMessages; ++i) {
+            if (!channel.send(Message(Opcode::EventCount, i)).isOk()) {
+                failed.store(true);
+                return;
+            }
+        }
+    });
+
+    std::uint64_t expected = 0;
+    Message batch[32];
+    while (expected < kMessages && !failed.load()) {
+        const std::size_t max_count =
+            1 + static_cast<std::size_t>(expected % burst_mod) % 32;
+        const std::size_t n = channel.tryRecvBatch(batch, max_count);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(batch[i].arg0, expected)
+                << "out-of-order or corrupted message";
+            ++expected;
+        }
+        if (n == 0)
+            std::this_thread::yield();
+    }
+    producer.join();
+    ASSERT_FALSE(failed.load()) << "producer send failed";
+    EXPECT_EQ(expected, kMessages);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, XprocSoakProperty,
+                         ::testing::Values(71, 72, 73));
+
+// ---------------------------------------------------------------------
+// FlatMap vs. unordered_map reference, multi-threaded
+// ---------------------------------------------------------------------
+
+class FlatMapProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlatMapProperty, RandomizedChurnMatchesUnorderedMapAcrossThreads)
+{
+    // N independent maps churned from N threads: catches any hidden
+    // shared state in the implementation (TSan) while each thread
+    // verifies against its own reference model.
+    constexpr int kThreads = 4;
+    const int base_seed = GetParam();
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t, base_seed, &failures] {
+            Rng rng(base_seed * 100 + t);
+            FlatMap<std::uint64_t, std::uint64_t> map;
+            std::unordered_map<std::uint64_t, std::uint64_t> model;
+            for (int step = 0; step < 30000; ++step) {
+                // 8-byte-aligned keys: the degenerate low-entropy
+                // pattern the murmur3 mix exists to handle.
+                const std::uint64_t key = 0x1000 + 8 * rng.nextBelow(512);
+                const std::uint64_t dice = rng.nextBelow(100);
+                if (dice < 40) {
+                    const std::uint64_t value = rng.next();
+                    const bool added = map.insertOrAssign(key, value);
+                    if (added != (model.count(key) == 0)) {
+                        ++failures;
+                        return;
+                    }
+                    model[key] = value;
+                } else if (dice < 70) {
+                    const std::uint64_t *found = map.find(key);
+                    const auto it = model.find(key);
+                    const bool match =
+                        (found == nullptr) == (it == model.end()) &&
+                        (found == nullptr || *found == it->second);
+                    if (!match) {
+                        ++failures;
+                        return;
+                    }
+                } else {
+                    if (map.erase(key) != (model.erase(key) > 0)) {
+                        ++failures;
+                        return;
+                    }
+                }
+                if (map.size() != model.size()) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, FlatMapProperty,
+                         ::testing::Values(3, 9));
+
+TEST(FlatMapConcurrency, ConcurrentReadersShareOneMapSafely)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    constexpr std::uint64_t kEntries = 4096;
+    for (std::uint64_t i = 0; i < kEntries; ++i)
+        map.insertOrAssign(0x1000 + 8 * i, i * i);
+
+    // Read-only sharing is part of the container's contract; TSan
+    // verifies no writes hide in the lookup path.
+    constexpr int kThreads = 4;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kThreads; ++t) {
+        readers.emplace_back([t, &map, &failures] {
+            Rng rng(1000 + t);
+            for (int step = 0; step < 50000; ++step) {
+                const std::uint64_t i = rng.nextBelow(kEntries + 64);
+                const std::uint64_t *found = map.find(0x1000 + 8 * i);
+                const bool expect_hit = i < kEntries;
+                if ((found != nullptr) != expect_hit ||
+                    (found != nullptr && *found != i * i)) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &reader : readers)
+        reader.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Lag sidecar: wrap-around and envelope matching under disturbance
+// ---------------------------------------------------------------------
+
+TEST(LagSidecarProperty, WrapAroundKeepsEnvelopeMatchingExact)
+{
+    // Capacity far below the message count: the envelope ring wraps
+    // dozens of times and must keep matching by sequence, not position.
+    telemetry::LagSidecar sidecar(8);
+    std::uint64_t enqueue_ns = 0;
+    for (std::uint64_t seq = 0; seq < 200; ++seq) {
+        ASSERT_TRUE(sidecar.stamp(seq, seq * 1000 + 1));
+        ASSERT_TRUE(sidecar.consumeUpTo(seq, enqueue_ns)) << "seq " << seq;
+        EXPECT_EQ(enqueue_ns, seq * 1000 + 1);
+    }
+    EXPECT_EQ(sidecar.pending(), 0u);
+    EXPECT_EQ(sidecar.dropped(), 0u);
+}
+
+TEST(LagSidecarProperty, StaleAndMissingEnvelopesDegradeSafely)
+{
+    telemetry::LagSidecar sidecar(8);
+    // Stamp seqs 0..4, then ask for seq 6 (whose envelope was never
+    // stamped, as if telemetry had been off for that send): the stale
+    // envelopes are discarded and the lookup reports "no sample" —
+    // never a wrong sample.
+    for (std::uint64_t seq = 0; seq < 5; ++seq)
+        ASSERT_TRUE(sidecar.stamp(seq, seq * 1000 + 1));
+    std::uint64_t enqueue_ns = 0;
+    EXPECT_FALSE(sidecar.consumeUpTo(6, enqueue_ns));
+    EXPECT_EQ(sidecar.pending(), 0u) << "stale envelopes must be drained";
+
+    // The stream then recovers: a fresh stamp for seq 7 matches.
+    ASSERT_TRUE(sidecar.stamp(7, 7777));
+    ASSERT_TRUE(sidecar.consumeUpTo(7, enqueue_ns));
+    EXPECT_EQ(enqueue_ns, 7777u);
+
+    // A full sidecar drops the newest stamp (counted) instead of
+    // blocking or overwriting history.
+    for (std::uint64_t seq = 100; seq < 100 + 8; ++seq)
+        ASSERT_TRUE(sidecar.stamp(seq, seq));
+    EXPECT_FALSE(sidecar.stamp(200, 200));
+    EXPECT_EQ(sidecar.dropped(), 1u);
+}
+
+TEST(LagSidecarProperty, CorruptedStreamRoundTripStaysConsistent)
+{
+    // A fault-injected channel can drop or duplicate *messages* while
+    // the sidecar keeps stamping every send. Whatever the verifier asks
+    // for, the sidecar must answer exactly-or-not-at-all.
+    faultinject::disarmAll();
+    telemetry::LagSidecar sidecar(16);
+    Rng rng(42);
+    std::uint64_t consumer_index = 0;
+    std::uint64_t enqueue_ns = 0;
+    for (std::uint64_t seq = 0; seq < 500; ++seq) {
+        sidecar.stamp(seq, seq * 10 + 3);
+        if (rng.chance(0.1))
+            continue; // message dropped in flight: envelope goes stale
+        consumer_index = seq;
+        if (sidecar.consumeUpTo(consumer_index, enqueue_ns)) {
+            EXPECT_EQ(enqueue_ns, consumer_index * 10 + 3)
+                << "a matched envelope must never carry another's stamp";
+        }
+    }
+    // Re-querying an already-consumed index must not resurrect data.
+    EXPECT_FALSE(sidecar.consumeUpTo(consumer_index, enqueue_ns));
+}
 
 // ---------------------------------------------------------------------
 // Pointer-integrity policy vs. reference map model
