@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +108,78 @@ runOnce(std::size_t capacity, std::size_t total, std::size_t batch)
     return result;
 }
 
+/**
+ * Aggregate throughput across `rings` independent producer/consumer
+ * pairs (batch 32) — the transport-level analogue of the sharded
+ * verifier, where each shard drains its own set of SPSC rings with no
+ * shared cursors. Scaling beyond 1x requires real cores.
+ */
+RunResult
+runMultiRing(std::size_t capacity, std::size_t per_ring,
+             std::size_t rings)
+{
+    constexpr std::size_t kBatch = 32;
+    std::vector<std::thread> threads;
+    std::vector<char> ok(rings, 1);
+    std::vector<std::unique_ptr<SpscRing>> ring_ptrs;
+    for (std::size_t r = 0; r < rings; ++r)
+        ring_ptrs.push_back(std::make_unique<SpscRing>(capacity));
+
+    Timer timer;
+    for (std::size_t r = 0; r < rings; ++r) {
+        SpscRing &ring = *ring_ptrs[r];
+        threads.emplace_back([&ring, &ok, r, per_ring] {
+            Message buffer[kMaxBatch];
+            std::uint64_t expected = 0;
+            while (expected < per_ring) {
+                const std::size_t n = ring.tryPopBatch(buffer, kBatch);
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (buffer[i].arg0 != expected) {
+                        ok[r] = 0;
+                        return;
+                    }
+                    ++expected;
+                }
+                if (n == 0)
+                    std::this_thread::yield();
+            }
+        });
+        threads.emplace_back([&ring, per_ring] {
+            Message scratch[kMaxBatch];
+            for (auto &message : scratch) {
+                message = Message{};
+                message.op = Opcode::PointerDefine;
+            }
+            std::uint64_t sent = 0;
+            while (sent < per_ring) {
+                const std::size_t want =
+                    kBatch < per_ring - sent
+                        ? kBatch
+                        : static_cast<std::size_t>(per_ring - sent);
+                for (std::size_t i = 0; i < want; ++i)
+                    scratch[i].arg0 = sent + i;
+                std::size_t pushed = 0;
+                while (pushed < want) {
+                    const std::size_t n = ring.tryPushBatch(
+                        scratch + pushed, want - pushed);
+                    if (n == 0)
+                        std::this_thread::yield();
+                    pushed += n;
+                }
+                sent += pushed;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    RunResult result;
+    result.seconds = timer.elapsedSeconds();
+    result.ok = true;
+    for (std::size_t r = 0; r < rings; ++r)
+        result.ok = result.ok && ok[r];
+    return result;
+}
+
 } // namespace
 } // namespace hq
 
@@ -152,12 +225,34 @@ main(int argc, char **argv)
                     result.ok ? "" : "  ORDER VIOLATION");
     }
 
+    // Multi-ring sweep: per-shard drains in the sharded verifier give
+    // each worker its own rings, so aggregate transport throughput at
+    // 1/2/4/8 independent rings bounds what shard scaling can deliver.
+    std::printf("\n=== Multi-ring aggregate throughput (batch 32, "
+                "%zu messages/ring) ===\n",
+                total / 8);
+    std::printf("%-12s %14s %14s %10s\n", "rings", "time (s)", "Mmsg/s",
+                "speedup");
+    double single_ring_rate = 0.0;
+    for (std::size_t rings : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{8}}) {
+        const RunResult result = runMultiRing(capacity, total / 8, rings);
+        all_ok = all_ok && result.ok;
+        const double rate =
+            (total / 8) * rings / result.seconds / 1e6;
+        if (rings == 1)
+            single_ring_rate = rate;
+        std::printf("%-12zu %14.4f %14.2f %9.2fx%s\n", rings,
+                    result.seconds, rate, rate / single_ring_rate,
+                    result.ok ? "" : "  ORDER VIOLATION");
+    }
+
     if (!all_ok) {
         std::printf("\nFAIL: messages lost or reordered\n");
         return 1;
     }
     if (smoke)
-        std::printf("\nsmoke OK: all batch sizes delivered every message "
-                    "in order\n");
+        std::printf("\nsmoke OK: all batch sizes and ring counts "
+                    "delivered every message in order\n");
     return 0;
 }

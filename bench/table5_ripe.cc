@@ -23,11 +23,12 @@ struct OriginCounts
 };
 
 OriginCounts
-sweep(const std::vector<RipeAttack> &suite, CfiDesign design)
+sweep(const std::vector<RipeAttack> &suite, CfiDesign design,
+      std::size_t num_shards = 1)
 {
     OriginCounts counts;
     for (const RipeAttack &attack : suite) {
-        const RipeResult result = runRipeAttack(attack, design);
+        const RipeResult result = runRipeAttack(attack, design, num_shards);
         if (!result.succeeded)
             continue;
         switch (attack.origin) {
@@ -45,6 +46,32 @@ printRow(const char *name, const OriginCounts &c, const char *paper)
 {
     std::printf("%-16s %5d %5d %5d %6d %6d   %s\n", name, c.bss, c.data,
                 c.heap, c.stack, c.total(), paper);
+}
+
+/**
+ * Re-run every attack under a 4-shard verifier and count verdicts that
+ * differ from the serial run. Sharding must never change a verdict.
+ */
+int
+shardParityMismatches(const std::vector<RipeAttack> &suite, CfiDesign design)
+{
+    int mismatches = 0;
+    for (const RipeAttack &attack : suite) {
+        const RipeResult serial = runRipeAttack(attack, design, 1);
+        const RipeResult sharded = runRipeAttack(attack, design, 4);
+        if (serial.succeeded != sharded.succeeded ||
+            serial.detected != sharded.detected) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "shard parity MISMATCH: %s / %s "
+                         "(serial %d/%d, 4-shard %d/%d)\n",
+                         designInfo(design).name.c_str(),
+                         attack.name().c_str(), serial.succeeded,
+                         serial.detected, sharded.succeeded,
+                         sharded.detected);
+        }
+    }
+    return mismatches;
 }
 
 } // namespace
@@ -84,5 +111,18 @@ main(int argc, char **argv)
                 "type-matching CFI\nfalls to code reuse; safe-stack "
                 "designs fall to disclosure attacks on\nreturn "
                 "pointers; CCFI and HQ-CFI-RetPtr block all exploits.\n");
-    return 0;
+
+    // Shard parity: the HQ designs route every policy message through
+    // the verifier, so re-run their full corpus at num_shards=4 and
+    // require per-attack verdicts identical to the serial sweep.
+    std::printf("\n=== Shard parity (num_shards=1 vs 4, per attack) ===\n");
+    int mismatches = 0;
+    for (CfiDesign design : {CfiDesign::HqSfeStk, CfiDesign::HqRetPtr}) {
+        const int m = shardParityMismatches(suite, design);
+        std::printf("%-16s %s (%d mismatches)\n",
+                    designInfo(design).name.c_str(),
+                    m == 0 ? "OK" : "FAIL", m);
+        mismatches += m;
+    }
+    return mismatches == 0 ? 0 : 1;
 }

@@ -11,6 +11,9 @@
  *
  * Two modes:
  *  - default: the original one-shot demo (3 messages, 1 violation).
+ *  - --shards=N: verifier shard count for streaming mode (default 1;
+ *    the single child routes to one shard, so N>1 exercises pid→shard
+ *    routing rather than parallel speedup).
  *  - --duration=SECS: streaming mode. The parent runs a real Verifier +
  *    KernelModule and the child emits pointer-integrity traffic for
  *    SECS seconds, ending with a deliberate corruption. Combine with
@@ -96,7 +99,8 @@ runOneShot(XprocChannel &channel)
  * lag histograms, and event log have live data to show.
  */
 int
-runStreaming(XprocChannel &channel, long duration_secs)
+runStreaming(XprocChannel &channel, long duration_secs,
+             std::size_t num_shards)
 {
     const bool chaos = faultinject::armed();
     if (chaos) {
@@ -158,6 +162,7 @@ runStreaming(XprocChannel &channel, long duration_secs)
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config config;
     config.kill_on_violation = false; // count, don't kill (§5 style)
+    config.num_shards = num_shards;
     if (chaos) {
         // Chaos runs exercise the full detection surface: sequence
         // gaps flag drops/dups, the CRC flags in-flight corruption.
@@ -185,8 +190,10 @@ runStreaming(XprocChannel &channel, long duration_secs)
     kernel.exitProcess(pid);
 
     const VerifierProcessStats stats = verifier.statsFor(pid);
-    std::printf("cross-process HerQules demo (streaming %lds)\n",
-                duration_secs);
+    std::printf("cross-process HerQules demo (streaming %lds, %zu "
+                "shard%s)\n",
+                duration_secs, verifier.numShards(),
+                verifier.numShards() == 1 ? "" : "s");
     std::printf("  child pid %d, messages %llu, violations %llu, "
                 "syscall acks %llu\n",
                 child,
@@ -238,9 +245,13 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::Error);
 
     long duration_secs = 0;
+    std::size_t num_shards = 1; // single child; >1 exercises routing
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
+        else if (std::strncmp(argv[i], "--shards=", 9) == 0)
+            num_shards = static_cast<std::size_t>(
+                std::strtoul(argv[i] + 9, nullptr, 10));
     }
     if (faultinject::armed() && duration_secs <= 0) {
         // The one-shot demo spins until it sees the Syscall message,
@@ -256,6 +267,7 @@ main(int argc, char **argv)
         std::printf("shared mapping unavailable; skipping\n");
         return 0;
     }
-    return duration_secs > 0 ? runStreaming(channel, duration_secs)
-                             : runOneShot(channel);
+    return duration_secs > 0
+               ? runStreaming(channel, duration_secs, num_shards)
+               : runOneShot(channel);
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.h"
 #include "faultinject/fault.h"
@@ -26,17 +27,24 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::Error);
 
     double scale = 1.0;
-    if (argc > 1)
-        scale = std::atof(argv[1]);
+    std::size_t num_shards = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--shards=", 9) == 0)
+            num_shards = static_cast<std::size_t>(
+                std::strtoul(argv[i] + 9, nullptr, 10));
+        else if (argv[i][0] != '-')
+            scale = std::atof(argv[i]);
+    }
 
     RunnerOptions options;
     options.scale = scale;
+    options.num_shards = num_shards;
     WorkloadRunner runner(options);
     const SpecProfile &nginx = specProfile("nginx");
 
     std::printf("Simulated NGINX: request throughput under CFI designs "
-                "(scale %.2f)\n\n",
-                scale);
+                "(scale %.2f, %zu shard%s)\n\n",
+                scale, num_shards, num_shards == 1 ? "" : "s");
     std::printf("%-18s %14s %12s %10s\n", "Design", "requests/s",
                 "messages", "syscalls");
 

@@ -64,7 +64,7 @@ done
 # key order, known record type.
 python3 - "$OUT_DIR" <<'EOF'
 import glob, json, sys
-keys = ["type", "ts_wall_ms", "ts_ns", "pid", "op",
+keys = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "op",
         "arg0", "arg1", "seq", "lag_ns", "reason"]
 kinds = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
          "corrupt_msg", "verifier_restart", "silent_accept"}

@@ -7,6 +7,7 @@
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "verifier/shard.h" // shardIndexFor: the verifier's pid hash
 
 namespace hq {
 
@@ -22,19 +23,29 @@ KernelModule::KernelModule() : KernelModule(Config{}) {}
 
 KernelModule::KernelModule(Config config) : _config(config) {}
 
+KernelModule::Bucket &
+KernelModule::bucketFor(Pid pid)
+{
+    return _buckets[shardIndexFor(pid, kBucketCount)];
+}
+
+const KernelModule::Bucket &
+KernelModule::bucketFor(Pid pid) const
+{
+    return _buckets[shardIndexFor(pid, kBucketCount)];
+}
+
 void
 KernelModule::setListener(ProcessEventListener *listener)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    _listener = listener;
+    _listener.store(listener, std::memory_order_release);
 }
 
 void
 KernelModule::clearListener(ProcessEventListener *listener)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    if (_listener == listener)
-        _listener = nullptr;
+    _listener.compare_exchange_strong(listener, nullptr,
+                                      std::memory_order_acq_rel);
 }
 
 std::size_t
@@ -43,10 +54,9 @@ KernelModule::replayProcessesTo(ProcessEventListener *listener)
     if (listener == nullptr)
         return 0;
     std::vector<Pid> live;
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        live.reserve(_processes.size());
-        for (const auto &[pid, context] : _processes) {
+    for (const Bucket &bucket : _buckets) {
+        std::lock_guard<std::mutex> guard(bucket.mutex);
+        for (const auto &[pid, context] : bucket.processes) {
             if (!context->killed)
                 live.push_back(pid);
         }
@@ -66,26 +76,26 @@ KernelModule::replayProcessesTo(ProcessEventListener *listener)
 }
 
 std::shared_ptr<KernelModule::ProcessContext>
-KernelModule::find(Pid pid) const
+KernelModule::find(const Bucket &bucket, Pid pid)
 {
-    auto it = _processes.find(pid);
-    return it == _processes.end() ? nullptr : it->second;
+    auto it = bucket.processes.find(pid);
+    return it == bucket.processes.end() ? nullptr : it->second;
 }
 
 Status
 KernelModule::enableProcess(Pid pid)
 {
-    ProcessEventListener *listener = nullptr;
+    Bucket &bucket = bucketFor(pid);
     {
-        std::lock_guard<std::mutex> guard(_mutex);
-        if (_processes.count(pid)) {
+        std::lock_guard<std::mutex> guard(bucket.mutex);
+        if (bucket.processes.count(pid)) {
             return Status::error(StatusCode::AlreadyExists,
                                  "process already enabled");
         }
-        _processes[pid] = std::make_shared<ProcessContext>();
-        listener = _listener;
+        bucket.processes[pid] = std::make_shared<ProcessContext>();
     }
-    if (listener)
+    if (ProcessEventListener *listener =
+            _listener.load(std::memory_order_acquire))
         listener->onProcessEnabled(pid);
     logDebug("kernel: enabled HQ for pid ", pid);
     return Status::ok();
@@ -94,21 +104,29 @@ KernelModule::enableProcess(Pid pid)
 Status
 KernelModule::forkProcess(Pid parent, Pid child)
 {
-    ProcessEventListener *listener = nullptr;
+    // Parent and child may hash to different buckets: validate the
+    // parent under its bucket lock, insert the child under its own.
+    // Never hold both (they may be the same mutex).
     {
-        std::lock_guard<std::mutex> guard(_mutex);
-        if (!_processes.count(parent)) {
+        Bucket &parent_bucket = bucketFor(parent);
+        std::lock_guard<std::mutex> guard(parent_bucket.mutex);
+        if (!parent_bucket.processes.count(parent)) {
             return Status::error(StatusCode::NotFound,
                                  "parent not enabled");
         }
-        if (_processes.count(child)) {
+    }
+    Bucket &child_bucket = bucketFor(child);
+    {
+        std::lock_guard<std::mutex> guard(child_bucket.mutex);
+        if (child_bucket.processes.count(child)) {
             return Status::error(StatusCode::AlreadyExists,
                                  "child pid in use");
         }
-        _processes[child] = std::make_shared<ProcessContext>();
-        listener = _listener;
+        child_bucket.processes[child] =
+            std::make_shared<ProcessContext>();
     }
-    if (listener)
+    if (ProcessEventListener *listener =
+            _listener.load(std::memory_order_acquire))
         listener->onProcessForked(parent, child);
     return Status::ok();
 }
@@ -116,21 +134,21 @@ KernelModule::forkProcess(Pid parent, Pid child)
 void
 KernelModule::exitProcess(Pid pid)
 {
-    ProcessEventListener *listener = nullptr;
+    Bucket &bucket = bucketFor(pid);
     {
-        std::lock_guard<std::mutex> guard(_mutex);
-        auto it = _processes.find(pid);
-        if (it == _processes.end())
+        std::lock_guard<std::mutex> guard(bucket.mutex);
+        auto it = bucket.processes.find(pid);
+        if (it == bucket.processes.end())
             return;
         // Wake any waiter before the context disappears, and keep a
         // stats snapshot for post-mortem inspection.
         it->second->killed = true;
         it->second->cv.notify_all();
-        _exited_stats[pid] = it->second->stats;
-        _processes.erase(it);
-        listener = _listener;
+        bucket.exited_stats[pid] = it->second->stats;
+        bucket.processes.erase(it);
     }
-    if (listener)
+    if (ProcessEventListener *listener =
+            _listener.load(std::memory_order_acquire))
         listener->onProcessExited(pid);
 }
 
@@ -160,8 +178,9 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
     if (_config.elide_readonly_syscalls && isReadOnlySyscall(sysno))
         return Status::ok(); // no pause needed: no external side effects
 
-    std::unique_lock<std::mutex> lock(_mutex);
-    std::shared_ptr<ProcessContext> context = find(pid);
+    Bucket &bucket = bucketFor(pid);
+    std::unique_lock<std::mutex> lock(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
     if (!context) {
         // Process never enabled HerQules: the module does not intercept.
         return Status::ok();
@@ -258,8 +277,9 @@ KernelModule::syscallResume(Pid pid)
         logDebug("kernel: injected lost notification for pid ", pid);
         return;
     }
-    std::lock_guard<std::mutex> guard(_mutex);
-    std::shared_ptr<ProcessContext> context = find(pid);
+    Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
     if (!context)
         return;
     context->sync_ok = true;
@@ -269,8 +289,9 @@ KernelModule::syscallResume(Pid pid)
 void
 KernelModule::killProcess(Pid pid, const std::string &reason)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    std::shared_ptr<ProcessContext> context = find(pid);
+    Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
     if (!context)
         return;
     context->killed = true;
@@ -281,27 +302,31 @@ KernelModule::killProcess(Pid pid, const std::string &reason)
 bool
 KernelModule::isEnabled(Pid pid) const
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    return find(pid) != nullptr;
+    const Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    return find(bucket, pid) != nullptr;
 }
 
 bool
 KernelModule::isKilled(Pid pid) const
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    std::shared_ptr<ProcessContext> context = find(pid);
+    const Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
     return context && context->killed;
 }
 
 KernelProcessStats
 KernelModule::statsFor(Pid pid) const
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    std::shared_ptr<ProcessContext> context = find(pid);
+    const Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
     if (context)
         return context->stats;
-    auto it = _exited_stats.find(pid);
-    return it == _exited_stats.end() ? KernelProcessStats{} : it->second;
+    auto it = bucket.exited_stats.find(pid);
+    return it == bucket.exited_stats.end() ? KernelProcessStats{}
+                                           : it->second;
 }
 
 } // namespace hq

@@ -20,6 +20,7 @@
 #ifndef HQ_KERNEL_KERNEL_H
 #define HQ_KERNEL_KERNEL_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -162,16 +163,40 @@ class KernelModule
         std::condition_variable cv;
     };
 
-    // Contexts are shared so a syscallEnter() waiter keeps its context
-    // (and condition variable) alive even if exitProcess() races with it.
-    std::shared_ptr<ProcessContext> find(Pid pid) const;
+    /**
+     * Process-table buckets, keyed by the same pid->shard hash the
+     * verifier uses (shardIndexFor in verifier/shard.h). With a sharded
+     * verifier, epoch acknowledgements and kill_on_violation for one
+     * shard's pids land on that shard's buckets only, so shard workers
+     * never contend on a single kernel lock (the real module's
+     * per-bucket hash-table locking).
+     */
+    static constexpr std::size_t kBucketCount = 16;
+
+    struct Bucket
+    {
+        mutable std::mutex mutex;
+        // Contexts are shared so a syscallEnter() waiter keeps its
+        // context (and condition variable) alive even if exitProcess()
+        // races with it.
+        std::unordered_map<Pid, std::shared_ptr<ProcessContext>>
+            processes;
+        /// Stats snapshots of exited processes (harness post-mortem).
+        std::unordered_map<Pid, KernelProcessStats> exited_stats;
+    };
+
+    Bucket &bucketFor(Pid pid);
+    const Bucket &bucketFor(Pid pid) const;
+
+    /** Lookup within one bucket; the caller holds bucket.mutex. */
+    static std::shared_ptr<ProcessContext> find(const Bucket &bucket,
+                                                Pid pid);
 
     Config _config;
-    ProcessEventListener *_listener = nullptr;
-    mutable std::mutex _mutex;
-    std::unordered_map<Pid, std::shared_ptr<ProcessContext>> _processes;
-    /// Stats snapshots of exited processes (harness post-mortem).
-    std::unordered_map<Pid, KernelProcessStats> _exited_stats;
+    /// Atomic: lifecycle paths read it after dropping the bucket lock,
+    /// and a crash-recovery verifier swap must not tear.
+    std::atomic<ProcessEventListener *> _listener{nullptr};
+    Bucket _buckets[kBucketCount];
 };
 
 } // namespace hq

@@ -111,7 +111,8 @@ EventLog::append(const EventRecord &record)
         return;
     _out << "{\"type\":\"" << eventTypeName(record.type)
          << "\",\"ts_wall_ms\":" << wall_ms << ",\"ts_ns\":" << ts_ns
-         << ",\"pid\":" << record.pid << ",\"op\":\"";
+         << ",\"pid\":" << record.pid << ",\"shard\":" << record.shard
+         << ",\"op\":\"";
     appendEscaped(_out, record.op);
     _out << "\",\"arg0\":" << record.arg0 << ",\"arg1\":" << record.arg1
          << ",\"seq\":" << record.seq << ",\"lag_ns\":" << record.lag_ns

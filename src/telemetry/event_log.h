@@ -51,6 +51,9 @@ struct EventRecord
 {
     EventType type = EventType::Violation;
     Pid pid = 0;
+    /// Verifier shard that owns pid's state (-1 when the emitter is not
+    /// the verifier — e.g. ring drops observed device-side).
+    std::int32_t shard = -1;
     std::string op; //!< opcode name of the offending message ("" = none)
     std::uint64_t arg0 = 0;
     std::uint64_t arg1 = 0;

@@ -14,7 +14,9 @@ namespace hq {
 namespace {
 
 // Metric handles are resolved once and cached: registry lookups stay
-// off the per-message path.
+// off the per-message path. These are the global roll-up; each shard
+// additionally records into its own `verifier.shard<i>.*` counters,
+// resolved once at construction (Verifier::Verifier).
 HQ_TELEMETRY_HANDLE(msgLatencyHist, Histogram, "verifier.msg_latency_ns")
 HQ_TELEMETRY_HANDLE(messagesCounter, Counter, "verifier.messages")
 HQ_TELEMETRY_HANDLE(violationsCounter, Counter, "verifier.violations")
@@ -25,6 +27,16 @@ HQ_TELEMETRY_HANDLE(lagHist, Histogram, "verifier.lag_ns")
 HQ_TELEMETRY_HANDLE(lagSloBreaches, Counter, "verifier.lag_slo_breaches")
 HQ_TELEMETRY_HANDLE(lagHighWater, Gauge, "verifier.lag_high_water_ns")
 
+std::size_t
+resolveNumShards(std::size_t requested)
+{
+    if (requested == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        requested = hw == 0 ? 1 : hw;
+    }
+    return std::clamp<std::size_t>(requested, 1, Verifier::kMaxShards);
+}
+
 } // namespace
 
 Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy)
@@ -34,8 +46,32 @@ Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy)
 
 Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
                    Config config)
-    : _kernel(kernel), _policy(std::move(policy)), _config(config)
+    : _kernel(kernel), _policy(std::move(policy)), _config(config),
+      _registry(resolveNumShards(config.num_shards))
 {
+    _config.num_shards = _registry.numShards();
+    // Clamp at config time: poll's stack buffer is sized by
+    // kMaxPollBatch, so an over-limit value must never reach the drain
+    // loop; 0 would drain nothing forever.
+    _config.poll_batch =
+        std::clamp<std::size_t>(_config.poll_batch, 1, kMaxPollBatch);
+
+    _shards.reserve(_config.num_shards);
+    auto &registry = telemetry::Registry::instance();
+    for (std::size_t i = 0; i < _config.num_shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        const std::string prefix =
+            "verifier.shard" + std::to_string(i) + ".";
+        shard->messages_metric = &registry.counter(prefix + "messages");
+        shard->violations_metric =
+            &registry.counter(prefix + "violations");
+        shard->syscall_acks_metric =
+            &registry.counter(prefix + "syscall_acks");
+        shard->idle_sleeps_metric =
+            &registry.counter(prefix + "idle_sleeps");
+        _shards.push_back(std::move(shard));
+    }
+
     _kernel.setListener(this);
 }
 
@@ -51,12 +87,13 @@ Verifier::~Verifier()
 void
 Verifier::attachChannel(Channel *channel, Pid owner, bool device_stamped)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    ChannelEntry entry;
-    entry.channel = channel;
-    entry.owner = owner;
-    entry.device_stamped = device_stamped;
-    _channels.push_back(entry);
+    auto entry = std::make_unique<ChannelEntry>();
+    entry->channel = channel;
+    entry->owner = owner;
+    entry->device_stamped = device_stamped;
+    Shard &shard = *_shards[_registry.shardOf(owner)];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    shard.channels.push_back(std::move(entry));
 }
 
 void
@@ -65,7 +102,8 @@ Verifier::start()
     bool expected = false;
     if (!_running.compare_exchange_strong(expected, true))
         return;
-    _thread = std::thread([this] { eventLoop(); });
+    for (std::size_t i = 0; i < _shards.size(); ++i)
+        _shards[i]->thread = std::thread([this, i] { shardLoop(i); });
 }
 
 void
@@ -73,12 +111,14 @@ Verifier::stop()
 {
     const bool was_running = _running.exchange(false);
     const bool was_crashed = _crashed.load(std::memory_order_relaxed);
-    // Always reap the event-loop thread: an injected crash clears
-    // _running from inside the loop, so the early-return shortcut of a
-    // plain "was it running" check would leak a joinable thread (and
+    // Always reap the worker threads: an injected crash clears _running
+    // from inside a shard loop, so the early-return shortcut of a plain
+    // "was it running" check would leak joinable threads (and
     // std::terminate in the destructor).
-    if (_thread.joinable())
-        _thread.join();
+    for (auto &shard : _shards) {
+        if (shard->thread.joinable())
+            shard->thread.join();
+    }
     if (!was_running && !was_crashed)
         return;
     // Drain anything that arrived during shutdown — unless the
@@ -88,34 +128,42 @@ Verifier::stop()
         poll();
     if (_config.kill_on_verifier_exit) {
         // Without a verifier no violations can be detected, so
-        // monitored programs must not keep running (§3.4).
-        std::lock_guard<std::mutex> guard(_mutex);
-        for (auto &[pid, process] : _processes) {
-            if (!process.exited)
-                _kernel.killProcess(pid, "verifier terminated");
+        // monitored programs must not keep running (§3.4). Sweep every
+        // shard; collect under the shard lock, kill outside it.
+        std::vector<Pid> doomed;
+        for (auto &shard : _shards) {
+            std::lock_guard<std::mutex> guard(shard->state_mutex);
+            for (auto &[pid, process] : shard->processes) {
+                if (!process.exited)
+                    doomed.push_back(pid);
+            }
         }
+        for (Pid pid : doomed)
+            _kernel.killProcess(pid, "verifier terminated");
     }
 }
 
 void
-Verifier::eventLoop()
+Verifier::shardLoop(std::size_t shard_index)
 {
-    // Bounded spin-then-sleep backoff: a busy verifier never sleeps, an
+    // Bounded spin-then-sleep backoff: a busy shard never sleeps, an
     // idle one yields for a few rounds (keeping fig3-style message
     // latency low when traffic resumes immediately) and then naps so an
     // idle verifier core stops burning cross-core cache traffic.
     constexpr int kSpinsBeforeSleep = 64;
     int idle_rounds = 0;
     while (_running.load(std::memory_order_relaxed)) {
-        if (poll() > 0) {
+        if (pollShard(shard_index) > 0) {
             idle_rounds = 0;
             continue;
         }
         if (++idle_rounds < kSpinsBeforeSleep) {
             std::this_thread::yield();
         } else {
-            if (telemetry::enabled())
+            if (telemetry::enabled()) {
                 idleSleepsCounter().inc();
+                _shards[shard_index]->idle_sleeps_metric->inc();
+            }
             std::this_thread::sleep_for(std::chrono::microseconds(10));
         }
     }
@@ -124,25 +172,49 @@ Verifier::eventLoop()
 std::size_t
 Verifier::poll()
 {
+    std::size_t processed = 0;
+    for (std::size_t i = 0; i < _shards.size(); ++i) {
+        processed += pollShard(i);
+        if (_crashed.load(std::memory_order_relaxed))
+            break;
+    }
+    return processed;
+}
+
+std::size_t
+Verifier::pollShard(std::size_t shard_index)
+{
+    if (shard_index >= _shards.size())
+        return 0;
+    Shard &shard = *_shards[shard_index];
+    // One consumer per shard at a time: the ring transports are SPSC,
+    // and test threads / the exit-drain path may poll concurrently with
+    // the shard's own worker.
+    std::lock_guard<std::mutex> drain_guard(shard.drain_mutex);
     if (_crashed.load(std::memory_order_relaxed))
         return 0; // a dead verifier verifies nothing
     if (faultinject::fire(faultinject::Site::VerifierSlowPoll))
         std::this_thread::sleep_for(std::chrono::microseconds(500));
 
     Message batch[kMaxPollBatch];
-    const std::size_t batch_max =
-        std::clamp<std::size_t>(_config.poll_batch, 1, kMaxPollBatch);
+    const std::size_t batch_max = _config.poll_batch; // ctor-clamped
     std::size_t processed = 0;
 
-    // Round-robin over channels, draining at most one batch per channel
-    // per locked round. The cap keeps one flooding channel from
-    // starving the rest, and releasing the lock between rounds lets
-    // kernel process-event notifications interleave with a long drain.
+    // Round-robin over the shard's channels, draining at most one batch
+    // per channel per round. The cap keeps one flooding channel from
+    // starving the rest; the channel list is snapshotted per round so
+    // attachChannel can run concurrently with a long drain.
     bool progress = true;
     while (progress) {
         progress = false;
-        std::lock_guard<std::mutex> guard(_mutex);
-        for (auto &entry : _channels) {
+        {
+            std::lock_guard<std::mutex> state_guard(shard.state_mutex);
+            shard.drain_list.clear();
+            for (auto &entry : shard.channels)
+                shard.drain_list.push_back(entry.get());
+        }
+        for (ChannelEntry *entry_ptr : shard.drain_list) {
+            ChannelEntry &entry = *entry_ptr;
             const std::size_t n =
                 entry.channel->tryRecvBatch(batch, batch_max);
             if (n == 0)
@@ -163,24 +235,32 @@ Verifier::poll()
             if (telemetry_on)
                 recordBatchLag(entry, n, lag_ns);
 
-            PidMemo memo;
-            for (std::size_t i = 0; i < n; ++i) {
-                handleMessage(entry, batch[i], memo,
-                              telemetry_on ? lag_ns[i] : kNoLag);
-                if (_crashed.load(std::memory_order_relaxed))
-                    break; // messages behind the crash point are lost
-            }
-            entry.recv_index += n;
+            {
+                // The memo holds the pid's home-shard state lock for
+                // the duration of the batch (released when it leaves
+                // scope, or swapped when a device-stamped batch
+                // switches to a pid hashing elsewhere).
+                PidMemo memo;
+                for (std::size_t i = 0; i < n; ++i) {
+                    handleMessage(entry, batch[i], memo,
+                                  telemetry_on ? lag_ns[i] : kNoLag);
+                    if (_crashed.load(std::memory_order_relaxed))
+                        break; // messages behind the crash are lost
+                }
+                entry.recv_index += n;
 
-            if (telemetry_on) {
-                const std::uint64_t elapsed =
-                    telemetry::nowNs() - batch_start;
-                msgLatencyHist().record(elapsed / n, n);
-                messagesCounter().add(n);
-                if (memo.entry != nullptr)
-                    policyEntriesGauge().set(
-                        memo.entry->stats.max_entries);
+                if (telemetry_on) {
+                    const std::uint64_t elapsed =
+                        telemetry::nowNs() - batch_start;
+                    msgLatencyHist().record(elapsed / n, n);
+                    messagesCounter().add(n);
+                    shard.messages_metric->add(n);
+                    if (memo.entry != nullptr)
+                        policyEntriesGauge().set(
+                            memo.entry->stats.max_entries);
+                }
             }
+            shard.messages.fetch_add(n, std::memory_order_relaxed);
             processed += n;
             if (_crashed.load(std::memory_order_relaxed))
                 break;
@@ -188,9 +268,11 @@ Verifier::poll()
         if (_crashed.load(std::memory_order_relaxed))
             break;
     }
-    _total_messages.fetch_add(processed, std::memory_order_relaxed);
-    if (processed > 0 && telemetry::enabled())
-        telemetry::traceCounter("verifier.batch_msgs", processed);
+    if (processed > 0) {
+        _total_messages.fetch_add(processed, std::memory_order_relaxed);
+        if (telemetry::enabled())
+            telemetry::traceCounter("verifier.batch_msgs", processed);
+    }
     return processed;
 }
 
@@ -231,7 +313,8 @@ Verifier::recordBatchLag(ChannelEntry &entry, std::size_t n,
 }
 
 void
-Verifier::recordViolation(Pid pid, ProcessEntry &process,
+Verifier::recordViolation(std::size_t home_shard, Pid pid,
+                          ProcessEntry &process,
                           const std::string &reason,
                           const Message &message,
                           telemetry::EventType event_type,
@@ -241,12 +324,14 @@ Verifier::recordViolation(Pid pid, ProcessEntry &process,
     ++process.stats.violations;
     if (telemetry::enabled()) {
         violationsCounter().inc();
+        _shards[home_shard]->violations_metric->inc();
         telemetry::traceInstant("verifier.violation");
     }
     if (telemetry::EventLog::instance().active()) {
         telemetry::EventRecord record;
         record.type = event_type;
         record.pid = pid;
+        record.shard = static_cast<std::int32_t>(home_shard);
         record.op = opcodeName(message.op);
         record.arg0 = message.arg0;
         record.arg1 = message.arg1;
@@ -258,6 +343,31 @@ Verifier::recordViolation(Pid pid, ProcessEntry &process,
     logDebug("verifier: violation for pid ", pid, ": ", reason);
     if (_config.kill_on_violation)
         _kernel.killProcess(pid, reason);
+}
+
+Verifier::ProcessEntry *
+Verifier::lookupProcess(Pid pid, PidMemo &memo)
+{
+    // Channels are per-process, so consecutive messages in a batch
+    // almost always share a pid: memoize the shard hash and map lookup
+    // (negative results included, so an unknown-pid flood stays cheap).
+    if (memo.valid && memo.pid == pid)
+        return memo.entry;
+    const std::size_t home = _registry.shardOf(pid);
+    Shard &shard = *_shards[home];
+    // Device-stamped channels can interleave pids whose home shards
+    // differ from the polling shard: move the lock to the new home
+    // (unique_lock move-assign releases the old mutex first, so at most
+    // one state mutex is ever held — no lock-order cycles possible).
+    if (memo.lock.mutex() != &shard.state_mutex)
+        memo.lock = std::unique_lock<std::mutex>(shard.state_mutex);
+    auto it = shard.processes.find(pid);
+    memo.pid = pid;
+    memo.home_shard = home;
+    memo.entry =
+        it == shard.processes.end() ? nullptr : &it->second;
+    memo.valid = true;
+    return memo.entry;
 }
 
 void
@@ -283,9 +393,9 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
     // to the channel's registered owner and fail closed (no processing,
     // no syscall ack).
     if (_config.check_crc && message.pad != messageCrc(message)) {
-        auto it = _processes.find(entry.owner);
-        if (it != _processes.end() && !it->second.exited) {
-            recordViolation(entry.owner, it->second,
+        ProcessEntry *owner = lookupProcess(entry.owner, memo);
+        if (owner != nullptr && !owner->exited) {
+            recordViolation(memo.home_shard, entry.owner, *owner,
                             "message corruption detected (CRC mismatch)",
                             message, telemetry::EventType::CorruptMsg,
                             lag_ns);
@@ -297,21 +407,13 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
     // otherwise the kernel-arbitrated channel registration.
     const Pid pid = entry.device_stamped ? message.pid : entry.owner;
 
-    // Channels are per-process, so consecutive messages in a batch
-    // almost always share a pid: memoize the hash lookup (negative
-    // results included, so an unknown-pid flood stays cheap too).
-    if (!memo.valid || memo.pid != pid) {
-        auto it = _processes.find(pid);
-        memo.pid = pid;
-        memo.entry = it == _processes.end() ? nullptr : &it->second;
-        memo.valid = true;
-    }
-    if (memo.entry == nullptr) {
+    ProcessEntry *found = lookupProcess(pid, memo);
+    if (found == nullptr) {
         logDebug("verifier: message for unknown pid ", pid, ": ",
                  message.toString());
         return;
     }
-    ProcessEntry &process = *memo.entry;
+    ProcessEntry &process = *found;
     if (process.exited || !process.context)
         return; // stale message from an already-exited process
     ++process.stats.messages;
@@ -326,7 +428,7 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
     if (_config.check_sequence) {
         if (entry.seq_started &&
             message.seq != entry.expected_seq) {
-            recordViolation(pid, process,
+            recordViolation(memo.home_shard, pid, process,
                             "message sequence gap: integrity violated",
                             message, telemetry::EventType::SeqGap,
                             lag_ns);
@@ -337,8 +439,9 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
 
     const Status status = process.context->handleMessage(message);
     if (!status.isOk())
-        recordViolation(pid, process, status.message(), message,
-                        telemetry::EventType::Violation, lag_ns);
+        recordViolation(memo.home_shard, pid, process, status.message(),
+                        message, telemetry::EventType::Violation,
+                        lag_ns);
 
     process.stats.max_entries =
         std::max(process.stats.max_entries, process.context->entryCount());
@@ -349,8 +452,10 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
         // unless the process was violated and kill-on-violation is set.
         if (!(process.violated && _config.kill_on_violation)) {
             ++process.stats.syscall_acks;
-            if (telemetry::enabled())
+            if (telemetry::enabled()) {
                 syscallAcksCounter().inc();
+                _shards[memo.home_shard]->syscall_acks_metric->inc();
+            }
             _kernel.syscallResume(pid);
         }
     }
@@ -359,24 +464,36 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
 void
 Verifier::onProcessEnabled(Pid pid)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
+    const std::size_t home = _registry.assign(pid);
     ProcessEntry entry;
     entry.context = _policy->makeContext(pid);
-    _processes[pid] = std::move(entry);
+    Shard &shard = *_shards[home];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    shard.processes[pid] = std::move(entry);
 }
 
 void
 Verifier::onProcessForked(Pid parent, Pid child)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    auto it = _processes.find(parent);
-    if (it == _processes.end()) {
-        logWarn("verifier: fork from unknown parent ", parent);
-        return;
+    // Clone under the parent's home-shard lock, insert under the
+    // child's — never both at once (the pids may share a shard).
+    std::unique_ptr<PolicyContext> child_context;
+    {
+        Shard &parent_shard = *_shards[_registry.shardOf(parent)];
+        std::lock_guard<std::mutex> guard(parent_shard.state_mutex);
+        auto it = parent_shard.processes.find(parent);
+        if (it == parent_shard.processes.end()) {
+            logWarn("verifier: fork from unknown parent ", parent);
+            return;
+        }
+        child_context = it->second.context->cloneForChild(child);
     }
+    const std::size_t home = _registry.assign(child);
     ProcessEntry entry;
-    entry.context = it->second.context->cloneForChild(child);
-    _processes[child] = std::move(entry);
+    entry.context = std::move(child_context);
+    Shard &shard = *_shards[home];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    shard.processes[child] = std::move(entry);
 }
 
 void
@@ -384,40 +501,58 @@ Verifier::onProcessExited(Pid pid)
 {
     // Drain in-flight messages before tearing the process down: the
     // exit notification arrives over the privileged channel and must
-    // not outrun the message stream.
+    // not outrun the message stream. Device-stamped channels can carry
+    // this pid's messages on any shard, so drain them all.
     poll();
-    std::lock_guard<std::mutex> guard(_mutex);
-    auto it = _processes.find(pid);
-    if (it == _processes.end())
-        return;
-    // The policy context is kept for post-mortem inspection by the
-    // harnesses; the exited flag stops further message processing.
-    it->second.exited = true;
+    Shard &shard = *_shards[_registry.shardOf(pid)];
+    {
+        std::lock_guard<std::mutex> guard(shard.state_mutex);
+        auto it = shard.processes.find(pid);
+        if (it == shard.processes.end())
+            return;
+        // The policy context is kept for post-mortem inspection by the
+        // harnesses; the exited flag stops further message processing.
+        it->second.exited = true;
+    }
+    _registry.release(pid);
 }
 
 bool
 Verifier::hasViolation(Pid pid) const
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    auto it = _processes.find(pid);
-    return it != _processes.end() && it->second.violated;
+    const Shard &shard = *_shards[_registry.shardOf(pid)];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    auto it = shard.processes.find(pid);
+    return it != shard.processes.end() && it->second.violated;
 }
 
 VerifierProcessStats
 Verifier::statsFor(Pid pid) const
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    auto it = _processes.find(pid);
-    return it == _processes.end() ? VerifierProcessStats{}
-                                  : it->second.stats;
+    const Shard &shard = *_shards[_registry.shardOf(pid)];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    auto it = shard.processes.find(pid);
+    return it == shard.processes.end() ? VerifierProcessStats{}
+                                       : it->second.stats;
 }
 
 PolicyContext *
 Verifier::contextFor(Pid pid)
 {
-    std::lock_guard<std::mutex> guard(_mutex);
-    auto it = _processes.find(pid);
-    return it == _processes.end() ? nullptr : it->second.context.get();
+    Shard &shard = *_shards[_registry.shardOf(pid)];
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    auto it = shard.processes.find(pid);
+    return it == shard.processes.end() ? nullptr
+                                       : it->second.context.get();
+}
+
+std::uint64_t
+Verifier::shardMessages(std::size_t shard_index) const
+{
+    return shard_index < _shards.size()
+               ? _shards[shard_index]->messages.load(
+                     std::memory_order_relaxed)
+               : 0;
 }
 
 } // namespace hq

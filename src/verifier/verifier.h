@@ -1,6 +1,6 @@
 /**
  * @file
- * The HerQules verifier (paper §3.4).
+ * The HerQules verifier (paper §3.4), sharded.
  *
  * A user-space process that maintains a policy context per monitored
  * application. It receives messages over AppendWrite channels, is
@@ -8,6 +8,18 @@
  * over the privileged channel, and notifies the kernel to resume paused
  * system calls once all of a process's outstanding messages have been
  * processed without a policy violation.
+ *
+ * The paper's verifier is one polling loop; because per-process policy
+ * state is independent and validation is asynchronous anyway, this
+ * implementation shards the loop: each monitored pid is assigned to one
+ * of Config::num_shards worker shards by a consistent hash at process
+ * start (src/verifier/shard.h), and that shard owns the pid's channels,
+ * policy context (FlatMap tables), lag-envelope matching, and metrics.
+ * The per-message hot path never takes a cross-shard lock; shards
+ * coordinate only at process start/exit and crash-recovery replay via
+ * the ShardRegistry. Device-stamped channels (FPGA) may carry messages
+ * for any pid, so their poller resolves the pid's home shard by the
+ * same hash and processes against that shard's state.
  *
  * By default monitored programs are killed upon policy violation, but —
  * as in the paper's evaluation, which continues execution to count false
@@ -32,6 +44,7 @@
 #include "policy/policy.h"
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
+#include "verifier/shard.h"
 
 namespace hq {
 
@@ -49,6 +62,9 @@ class Verifier : public ProcessEventListener
   public:
     /** Upper bound on Config::poll_batch (sizes poll()'s stack buffer). */
     static constexpr std::size_t kMaxPollBatch = 256;
+
+    /** Upper bound on Config::num_shards (and the auto default). */
+    static constexpr std::size_t kMaxShards = 16;
 
     struct Config
     {
@@ -77,11 +93,14 @@ class Verifier : public ProcessEventListener
          */
         bool kill_on_verifier_exit = false;
         /**
-         * Messages drained per channel per poll round (clamped to
-         * [1, kMaxPollBatch]). One lock acquisition, one virtual
-         * tryRecvBatch call, and one telemetry scope are amortized over
-         * each batch; the bound doubles as a round-robin fairness cap,
-         * so one busy channel cannot starve the others.
+         * Messages drained per channel per poll round. Validated at
+         * construction: values outside [1, kMaxPollBatch] are clamped
+         * (poll()'s stack buffer is sized by kMaxPollBatch, so an
+         * over-limit config must never reach the drain loop). One
+         * lock acquisition, one virtual tryRecvBatch call, and one
+         * telemetry scope are amortized over each batch; the bound
+         * doubles as a round-robin fairness cap, so one busy channel
+         * cannot starve the others.
          */
         std::size_t poll_batch = 64;
         /**
@@ -91,6 +110,14 @@ class Verifier : public ProcessEventListener
          * 0 disables the check. Only meaningful while telemetry is on.
          */
         std::uint64_t lag_slo_ns = 1'000'000;
+        /**
+         * Worker shards. 0 = auto: std::thread::hardware_concurrency,
+         * clamped to [1, kMaxShards]. With 1 shard the verifier is the
+         * paper's serial polling loop. start() spawns one event-loop
+         * thread per shard; poll() drains every shard on the caller's
+         * thread either way, so deterministic tests are unaffected.
+         */
+        std::size_t num_shards = 0;
     };
 
     /**
@@ -103,28 +130,40 @@ class Verifier : public ProcessEventListener
     ~Verifier() override;
 
     /**
-     * Register a message channel owned by one monitored process. For
-     * device-stamped channels (FPGA) the message PID field is trusted;
-     * for software channels the registered owner identifies the sender,
-     * mirroring kernel-arbitrated channel creation.
+     * Register a message channel owned by one monitored process. The
+     * channel joins its owner's shard: that shard's worker becomes the
+     * only consumer, preserving the SPSC contract of the ring-backed
+     * transports. For device-stamped channels (FPGA) the message PID
+     * field is trusted; for software channels the registered owner
+     * identifies the sender, mirroring kernel-arbitrated channel
+     * creation.
      *
      * @param device_stamped message.pid comes from trusted hardware
      */
     void attachChannel(Channel *channel, Pid owner,
                        bool device_stamped = false);
 
-    /** Start the event-loop thread. */
+    /** Start one event-loop thread per shard. */
     void start();
 
-    /** Drain remaining messages and stop the event-loop thread. */
+    /** Drain remaining messages and stop the event-loop threads. */
     void stop();
 
     /**
-     * Process pending messages synchronously on the caller's thread.
-     * Used by deterministic unit tests instead of start()/stop().
+     * Process pending messages synchronously on the caller's thread,
+     * draining every shard in index order. Used by deterministic unit
+     * tests instead of start()/stop().
      * @return number of messages processed.
      */
     std::size_t poll();
+
+    /**
+     * Drain one shard's channels on the caller's thread. Safe against
+     * a concurrently running shard worker (a per-shard drain mutex
+     * serializes consumers).
+     * @return number of messages processed.
+     */
+    std::size_t pollShard(std::size_t shard_index);
 
     // --- ProcessEventListener (privileged kernel notifications) ------
     void onProcessEnabled(Pid pid) override;
@@ -137,6 +176,25 @@ class Verifier : public ProcessEventListener
 
     /** Policy context for a pid (test hook); nullptr when unknown. */
     PolicyContext *contextFor(Pid pid);
+
+    /** Resolved shard count (Config::num_shards after auto/clamping). */
+    std::size_t numShards() const { return _shards.size(); }
+
+    /** Shard that owns pid's state (consistent hash; always valid). */
+    std::size_t
+    shardOf(Pid pid) const
+    {
+        return _registry.shardOf(pid);
+    }
+
+    /** Live-pid registry (tests and harness introspection). */
+    const ShardRegistry &registry() const { return _registry; }
+
+    /** Messages processed by one shard (always on; tests). */
+    std::uint64_t shardMessages(std::size_t shard_index) const;
+
+    /** Effective configuration (poll_batch/num_shards after clamping). */
+    const Config &config() const { return _config; }
 
     /** Total messages processed across all processes. */
     std::uint64_t totalMessages() const
@@ -180,27 +238,64 @@ class Verifier : public ProcessEventListener
     };
 
     /**
-     * Memo of the last pid -> ProcessEntry resolution. Channels are
-     * per-process, so within one drained batch the hash lookup resolves
-     * once instead of per message. Only valid while _mutex is held
-     * (entry references are stable across insert for unordered_map, but
-     * the memo is conservatively scoped to one locked round anyway).
+     * Memo of the last pid -> ProcessEntry resolution, carrying the
+     * home shard's state lock. Channels are per-process, so within one
+     * drained batch the shard-hash + map lookup resolves once instead
+     * of per message; the lock follows the memo (released/reacquired
+     * only when a device-stamped batch switches pids across shards),
+     * so the common case pays one lock acquisition per batch.
      */
     struct PidMemo
     {
         Pid pid = 0;
         ProcessEntry *entry = nullptr;
         bool valid = false;
+        /// Home shard of `pid` (violations/acks are attributed here).
+        std::size_t home_shard = 0;
+        std::unique_lock<std::mutex> lock;
+    };
+
+    /** One verifier worker: owns its channels and process state. */
+    struct Shard
+    {
+        /**
+         * Serializes draining: ring transports are single-consumer, so
+         * only one thread may poll a shard at a time (the shard worker
+         * in steady state; test threads / exit-drain otherwise).
+         */
+        std::mutex drain_mutex;
+        /**
+         * Guards processes and the channels list. Never held across a
+         * tryRecvBatch: the drain loop snapshots channel pointers once
+         * per round and locks per pid-run while checking.
+         */
+        mutable std::mutex state_mutex;
+        std::vector<std::unique_ptr<ChannelEntry>> channels;
+        std::unordered_map<Pid, ProcessEntry> processes;
+        /// Scratch channel-pointer snapshot (touched under drain_mutex).
+        std::vector<ChannelEntry *> drain_list;
+        std::thread thread;
+        /// Always-on per-shard message count (tests, cheap roll-ups).
+        std::atomic<std::uint64_t> messages{0};
+        // Per-shard metrics (`verifier.shard<i>.*`), resolved once at
+        // construction; the unprefixed `verifier.*` metrics remain the
+        // global roll-up (every shard records into both).
+        telemetry::Counter *messages_metric = nullptr;
+        telemetry::Counter *violations_metric = nullptr;
+        telemetry::Counter *syscall_acks_metric = nullptr;
+        telemetry::Counter *idle_sleeps_metric = nullptr;
     };
 
     /// Sentinel for "no lag sample matched this message".
     static constexpr std::uint64_t kNoLag = ~std::uint64_t{0};
 
-    void eventLoop();
+    void shardLoop(std::size_t shard_index);
+    /** Resolve pid's ProcessEntry via the memo, locking its home shard. */
+    ProcessEntry *lookupProcess(Pid pid, PidMemo &memo);
     void handleMessage(ChannelEntry &entry, const Message &message,
                        PidMemo &memo, std::uint64_t lag_ns);
-    void recordViolation(Pid pid, ProcessEntry &process,
-                         const std::string &reason,
+    void recordViolation(std::size_t home_shard, Pid pid,
+                         ProcessEntry &process, const std::string &reason,
                          const Message &message,
                          telemetry::EventType event_type,
                          std::uint64_t lag_ns);
@@ -214,11 +309,9 @@ class Verifier : public ProcessEventListener
     std::shared_ptr<Policy> _policy;
     Config _config;
 
-    mutable std::mutex _mutex;
-    std::vector<ChannelEntry> _channels;
-    std::unordered_map<Pid, ProcessEntry> _processes;
+    ShardRegistry _registry;
+    std::vector<std::unique_ptr<Shard>> _shards;
 
-    std::thread _thread;
     std::atomic<bool> _running{false};
     std::atomic<bool> _crashed{false};
     std::atomic<std::uint64_t> _total_messages{0};

@@ -441,7 +441,8 @@ buildRipeModule(const RipeAttack &attack)
 }
 
 RipeResult
-runRipeAttack(const RipeAttack &attack, CfiDesign design)
+runRipeAttack(const RipeAttack &attack, CfiDesign design,
+              std::size_t num_shards)
 {
     RipeBuilder builder(attack);
     ir::Module module = builder.build();
@@ -458,6 +459,7 @@ runRipeAttack(const RipeAttack &attack, CfiDesign design)
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config vconfig;
     vconfig.kill_on_violation = true; // effectiveness mode (§5.2)
+    vconfig.num_shards = num_shards;  // verdicts must not depend on this
     Verifier verifier(kernel, policy, vconfig);
 
     ShmChannel channel(1 << 12);

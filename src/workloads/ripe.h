@@ -89,8 +89,13 @@ struct RipeResult
     std::string detail;
 };
 
-/** Execute one attack under one design (effectiveness mode: kill). */
-RipeResult runRipeAttack(const RipeAttack &attack, CfiDesign design);
+/**
+ * Execute one attack under one design (effectiveness mode: kill).
+ * @param num_shards verifier shard count; policy verdicts must be
+ *        identical for any value (shard-parity tests exercise 1 vs 4).
+ */
+RipeResult runRipeAttack(const RipeAttack &attack, CfiDesign design,
+                         std::size_t num_shards = 1);
 
 } // namespace hq
 

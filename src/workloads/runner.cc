@@ -51,6 +51,7 @@ WorkloadRunner::execute(const SpecProfile &profile, CfiDesign design,
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config vconfig;
     vconfig.kill_on_violation = _options.kill_on_violation;
+    vconfig.num_shards = _options.num_shards;
     Verifier verifier(kernel, policy, vconfig);
 
     std::unique_ptr<Channel> channel;

@@ -62,6 +62,8 @@ struct RunnerOptions
     std::size_t channel_capacity = 1 << 14;
     /** Timing repetitions for relativePerformance (min-of-N). */
     int perf_reps = 3;
+    /** Verifier shard count (1 = serial; 0 = auto-detect). */
+    std::size_t num_shards = 1;
 };
 
 class WorkloadRunner

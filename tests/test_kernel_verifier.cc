@@ -390,6 +390,9 @@ TEST(Verifier, PollBatchConfigIsClamped)
     Verifier::Config config;
     config.poll_batch = 0; // clamped up to 1
     Verifier verifier(fx.kernel, fx.policy, config);
+    // The clamp happens at config time (constructor), not per poll:
+    // the effective configuration already holds the bounded value.
+    EXPECT_EQ(verifier.config().poll_batch, 1u);
     ShmChannel channel(64);
     verifier.attachChannel(&channel, 1);
     ASSERT_TRUE(fx.kernel.enableProcess(1).isOk());
@@ -399,6 +402,7 @@ TEST(Verifier, PollBatchConfigIsClamped)
     Verifier::Config huge;
     huge.poll_batch = 1 << 20; // clamped down to kMaxPollBatch
     Verifier clamped(fx.kernel, fx.policy, huge);
+    EXPECT_EQ(clamped.config().poll_batch, Verifier::kMaxPollBatch);
     ShmChannel channel2(1 << 10);
     clamped.attachChannel(&channel2, 1);
     for (int i = 0; i < 600; ++i)

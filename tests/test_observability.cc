@@ -409,10 +409,10 @@ TEST(StatsBoard, SeqlockNeverYieldsTornSnapshots)
 void
 expectSchema(const std::string &line)
 {
-    static const char *kKeys[] = {"type",  "ts_wall_ms", "ts_ns",
-                                  "pid",   "op",         "arg0",
-                                  "arg1",  "seq",        "lag_ns",
-                                  "reason"};
+    static const char *kKeys[] = {"type", "ts_wall_ms", "ts_ns",
+                                  "pid",  "shard",      "op",
+                                  "arg0", "arg1",       "seq",
+                                  "lag_ns", "reason"};
     std::size_t pos = 0;
     for (const char *key : kKeys) {
         const std::string needle = std::string("\"") + key + "\":";
@@ -423,6 +423,55 @@ expectSchema(const std::string &line)
     }
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
+}
+
+/**
+ * Split one JSONL record into its (key, raw value) fields in emission
+ * order. Values keep their raw spelling ("7", "\"Syscall\""), string
+ * escapes are honored so an escaped quote never ends a value early.
+ */
+std::vector<std::pair<std::string, std::string>>
+parseFields(const std::string &line)
+{
+    std::vector<std::pair<std::string, std::string>> fields;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+        const std::size_t key_open = line.find('"', i);
+        if (key_open == std::string::npos)
+            break;
+        const std::size_t key_close = line.find('"', key_open + 1);
+        if (key_close == std::string::npos ||
+            key_close + 1 >= n || line[key_close + 1] != ':')
+            break;
+        const std::string key =
+            line.substr(key_open + 1, key_close - key_open - 1);
+        std::size_t v = key_close + 2;
+        std::string value;
+        if (v < n && line[v] == '"') {
+            value.push_back('"');
+            ++v;
+            while (v < n) {
+                if (line[v] == '\\' && v + 1 < n) {
+                    value.append(line, v, 2);
+                    v += 2;
+                    continue;
+                }
+                value.push_back(line[v]);
+                if (line[v] == '"') {
+                    ++v;
+                    break;
+                }
+                ++v;
+            }
+        } else {
+            while (v < n && line[v] != ',' && line[v] != '}')
+                value.push_back(line[v++]);
+        }
+        fields.emplace_back(key, value);
+        i = v + 1;
+    }
+    return fields;
 }
 
 TEST(EventLog, JsonlRecordsMatchGoldenSchema)
@@ -463,7 +512,8 @@ TEST(EventLog, JsonlRecordsMatchGoldenSchema)
     expectSchema(lines[0]);
     expectSchema(lines[1]);
     EXPECT_NE(lines[0].find("\"type\":\"violation\""), std::string::npos);
-    EXPECT_NE(lines[0].find("\"pid\":7,\"op\":\"POINTER-CHECK\",\"arg0\""
+    EXPECT_NE(lines[0].find("\"pid\":7,\"shard\":-1,\"op\""
+                            ":\"POINTER-CHECK\",\"arg0\""
                             ":4096,\"arg1\":48879,\"seq\":3,\"lag_ns\""
                             ":123,\"reason\":\"bad pointer\"}"),
               std::string::npos);
@@ -474,6 +524,86 @@ TEST(EventLog, JsonlRecordsMatchGoldenSchema)
     EXPECT_NE(lines[1].find("epoch \\\"expired\\\"\\n"),
               std::string::npos);
     std::remove(path.c_str());
+}
+
+/**
+ * Golden-file schema test: the checked-in fixture in tests/data/ is the
+ * schema contract. Each produced record is diffed against its fixture
+ * line field-by-field (names, order, and values; `<any>` in the fixture
+ * wildcards the timestamps), so any drift — a renamed key, a reordered
+ * field, a changed value encoding — fails with the exact field named,
+ * instead of silently passing a substring/regex check.
+ */
+TEST(EventLog, JsonlRecordsMatchCheckedInGoldenFile)
+{
+    auto &log = telemetry::EventLog::instance();
+    const std::string path =
+        "/tmp/hq_event_log_golden_" + std::to_string(::getpid()) +
+        ".jsonl";
+    ASSERT_TRUE(log.open(path));
+
+    // The same inputs the fixture was generated from.
+    telemetry::EventRecord violation;
+    violation.type = telemetry::EventType::Violation;
+    violation.pid = 7;
+    violation.shard = 2;
+    violation.op = "POINTER-CHECK";
+    violation.arg0 = 4096;
+    violation.arg1 = 0xBEEF;
+    violation.seq = 3;
+    violation.lag_ns = 123;
+    violation.reason = "bad pointer";
+    log.append(violation);
+
+    telemetry::EventRecord timeout;
+    timeout.type = telemetry::EventType::EpochTimeout;
+    timeout.pid = 8;
+    timeout.op = "Syscall";
+    timeout.arg0 = 59;
+    timeout.reason = "epoch \"expired\"\n";
+    log.append(timeout);
+
+    telemetry::EventRecord silent;
+    silent.type = telemetry::EventType::SilentAccept;
+    silent.pid = 41;
+    silent.shard = 0;
+    silent.arg0 = 5;
+    silent.reason = "injected fault saw no detector fire";
+    log.append(silent);
+
+    log.close();
+
+    std::ifstream produced_in(path);
+    std::vector<std::string> produced;
+    for (std::string line; std::getline(produced_in, line);)
+        produced.push_back(line);
+    std::remove(path.c_str());
+
+    std::ifstream golden_in(std::string(HQ_TEST_DATA_DIR) +
+                            "/event_log_golden.jsonl");
+    ASSERT_TRUE(golden_in.is_open())
+        << "fixture tests/data/event_log_golden.jsonl missing";
+    std::vector<std::string> golden;
+    for (std::string line; std::getline(golden_in, line);)
+        golden.push_back(line);
+
+    ASSERT_EQ(produced.size(), golden.size());
+    for (std::size_t i = 0; i < produced.size(); ++i) {
+        const auto got = parseFields(produced[i]);
+        const auto want = parseFields(golden[i]);
+        ASSERT_EQ(got.size(), want.size())
+            << "record " << i << " field count drifted: " << produced[i];
+        for (std::size_t f = 0; f < got.size(); ++f) {
+            EXPECT_EQ(got[f].first, want[f].first)
+                << "record " << i << " field " << f
+                << ": key drifted (order or name)";
+            if (want[f].second == "<any>")
+                continue; // timestamp: value is volatile by design
+            EXPECT_EQ(got[f].second, want[f].second)
+                << "record " << i << " field \"" << got[f].first
+                << "\": value drifted";
+        }
+    }
 }
 
 TEST(EventLog, VerifierViolationProducesOneRecord)

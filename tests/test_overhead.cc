@@ -46,6 +46,7 @@ runPipelineSeconds()
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config config;
     config.kill_on_violation = false;
+    config.num_shards = 1; // the gate measures the serial hot path
     Verifier verifier(kernel, policy, config);
     kernel.enableProcess(kPid);
 

@@ -204,5 +204,28 @@ TEST(RipeDesigns, LongjmpBufferAttackMechanicsMatchFuncPtr)
     EXPECT_FALSE(hq.succeeded);
 }
 
+// Sharding must not change any policy verdict: run the full attack
+// corpus under a 1-shard and a 4-shard verifier and require identical
+// detect/deny outcomes per attack. The HQ designs route every policy
+// message through the verifier, so they are the ones a sharding bug
+// could perturb.
+TEST(RipeSharding, FourShardVerdictsMatchSerialPerAttack)
+{
+    const std::vector<RipeAttack> suite = ripeAttackSuite(1);
+    const CfiDesign designs[] = {CfiDesign::HqRetPtr, CfiDesign::HqSfeStk};
+    for (CfiDesign design : designs) {
+        for (const RipeAttack &a : suite) {
+            const RipeResult serial = runRipeAttack(a, design, 1);
+            const RipeResult sharded = runRipeAttack(a, design, 4);
+            EXPECT_EQ(serial.succeeded, sharded.succeeded)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(serial.detected, sharded.detected)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(serial.exit, sharded.exit)
+                << designInfo(design).name << " / " << a.name();
+        }
+    }
+}
+
 } // namespace
 } // namespace hq
