@@ -12,10 +12,20 @@
  * once and in order, so the numbers cannot come at the cost of the
  * AppendWrite ordering guarantees.
  *
+ * A second sweep measures the *verified pipeline*: a producer doing
+ * batched sends through a ShmChannel into a real Verifier (CRC +
+ * sequence checking on, pointer-integrity policy), once per negotiated
+ * wire format. v1 stamps and checks a CRC per 32-byte message; v2
+ * ships 64-record frames with two frame-level CRCs and drains them
+ * zero-copy, which is where the format's messages/sec advantage comes
+ * from.
+ *
  * Flags:
  *   --smoke            quick correctness pass (small message count)
  *   --messages=N       total messages per batch-size run
  *   --capacity=N       ring capacity in messages (default 4096)
+ *   --format=v1|v2|both  verified-pipeline formats to run (default both)
+ *   --json=FILE        write machine-readable results (hq-ring-bench/1)
  *   --telemetry[...]   standard telemetry flags (handleBenchArgs)
  */
 
@@ -27,10 +37,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/log.h"
 #include "common/timer.h"
+#include "ipc/shm_channel.h"
 #include "ipc/spsc_ring.h"
+#include "kernel/kernel.h"
+#include "policy/pointer_integrity.h"
 #include "telemetry/telemetry.h"
+#include "verifier/verifier.h"
 
 namespace hq {
 namespace {
@@ -180,6 +195,66 @@ runMultiRing(std::size_t capacity, std::size_t per_ring,
     return result;
 }
 
+/**
+ * End-to-end verified throughput for one wire format: producer thread
+ * batch-sending pointer-integrity checks, consumer thread running the
+ * real verifier drain (CRC + sequence verification, policy lookups).
+ */
+RunResult
+runVerifiedPipeline(std::size_t capacity, std::size_t total,
+                    WireFormat format)
+{
+    KernelModule kernel;
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier::Config config;
+    config.kill_on_violation = false;
+    config.check_sequence = true;
+    config.check_crc = true;
+    config.num_shards = 1;
+    Verifier verifier(kernel, policy, config);
+
+    ShmChannel channel(capacity);
+    RunResult result;
+    if (format != WireFormat::V1 &&
+        !channel.negotiateFormat(format)) {
+        return result; // ok=false
+    }
+    kernel.enableProcess(1);
+    verifier.attachChannel(&channel, 1);
+
+    Message burst[kMaxBatch];
+    for (auto &message : burst)
+        message = Message(Opcode::PointerCheck, 0x1000, 0xAAAA);
+
+    Timer timer;
+    std::thread consumer([&] {
+        while (verifier.totalMessages() < total + 1) {
+            if (verifier.poll() == 0)
+                std::this_thread::yield();
+        }
+    });
+
+    // Define the pointer first so every check hits the shadow store.
+    bool send_ok =
+        channel.send(Message(Opcode::PointerDefine, 0x1000, 0xAAAA))
+            .isOk();
+    std::uint64_t sent = 0;
+    while (send_ok && sent < total) {
+        const std::size_t want =
+            kMaxBatch < total - sent
+                ? kMaxBatch
+                : static_cast<std::size_t>(total - sent);
+        send_ok = channel.sendBatch(burst, want).isOk();
+        sent += want;
+    }
+    consumer.join();
+    result.seconds = timer.elapsedSeconds();
+    result.ok = send_ok && !verifier.hasViolation(1) &&
+                verifier.statsFor(1).messages == total + 1;
+    kernel.exitProcess(1);
+    return result;
+}
+
 } // namespace
 } // namespace hq
 
@@ -193,6 +268,9 @@ main(int argc, char **argv)
     bool smoke = false;
     std::size_t total = 8u << 20; // 8 Mi messages
     std::size_t capacity = 4096;
+    bool run_v1 = true;
+    bool run_v2 = true;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -202,6 +280,14 @@ main(int argc, char **argv)
             total = std::strtoull(arg.c_str() + 11, nullptr, 10);
         } else if (arg.rfind("--capacity=", 0) == 0) {
             capacity = std::strtoull(arg.c_str() + 11, nullptr, 10);
+        } else if (arg == "--format=v1") {
+            run_v2 = false;
+        } else if (arg == "--format=v2") {
+            run_v1 = false;
+        } else if (arg == "--format=both") {
+            run_v1 = run_v2 = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
         }
     }
 
@@ -247,12 +333,72 @@ main(int argc, char **argv)
                     result.ok ? "" : "  ORDER VIOLATION");
     }
 
+    // Verified-pipeline sweep: sender -> ShmChannel -> Verifier with
+    // integrity checking on, per negotiated wire format.
+    const std::size_t pipeline_total = smoke ? total : total / 4;
+    std::printf("\n=== Verified pipeline throughput (capacity %zu, %zu "
+                "messages, CRC backend %s) ===\n",
+                capacity, pipeline_total, crc32::implName());
+    std::printf("%-12s %14s %14s %10s\n", "format", "time (s)", "Mmsg/s",
+                "speedup");
+    double v1_rate = 0.0;
+    double v2_rate = 0.0;
+    if (run_v1) {
+        const RunResult result =
+            runVerifiedPipeline(capacity, pipeline_total, WireFormat::V1);
+        all_ok = all_ok && result.ok;
+        v1_rate = pipeline_total / result.seconds / 1e6;
+        std::printf("%-12s %14.4f %14.2f %10s%s\n", "v1", result.seconds,
+                    v1_rate, "1.00x", result.ok ? "" : "  FAILED");
+    }
+    if (run_v2) {
+        const RunResult result =
+            runVerifiedPipeline(capacity, pipeline_total, WireFormat::V2);
+        all_ok = all_ok && result.ok;
+        v2_rate = pipeline_total / result.seconds / 1e6;
+        std::printf("%-12s %14.4f %14.2f %9.2fx%s\n", "v2",
+                    result.seconds, v2_rate,
+                    v1_rate > 0.0 ? v2_rate / v1_rate : 1.0,
+                    result.ok ? "" : "  FAILED");
+    }
+
+    if (!json_path.empty()) {
+        std::FILE *out = std::fopen(json_path.c_str(), "w");
+        if (out == nullptr) {
+            std::printf("FAIL: cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"schema\": \"hq-ring-bench/1\",\n"
+                     "  \"capacity\": %zu,\n"
+                     "  \"pipeline_messages\": %zu,\n"
+                     "  \"crc_backend\": \"%s\",\n"
+                     "  \"verified_pipeline\": {\n",
+                     capacity, pipeline_total, crc32::implName());
+        bool first = true;
+        if (run_v1) {
+            std::fprintf(out, "    \"v1\": {\"mmsg_per_sec\": %.4f}",
+                         v1_rate);
+            first = false;
+        }
+        if (run_v2) {
+            std::fprintf(out, "%s    \"v2\": {\"mmsg_per_sec\": %.4f}",
+                         first ? "" : ",\n", v2_rate);
+        }
+        std::fprintf(out, "\n  },\n  \"ok\": %s\n}\n",
+                     all_ok ? "true" : "false");
+        std::fclose(out);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
     if (!all_ok) {
-        std::printf("\nFAIL: messages lost or reordered\n");
+        std::printf("\nFAIL: messages lost, reordered, or pipeline "
+                    "verification failed\n");
         return 1;
     }
     if (smoke)
-        std::printf("\nsmoke OK: all batch sizes and ring counts "
-                    "delivered every message in order\n");
+        std::printf("\nsmoke OK: all batch sizes, ring counts, and wire "
+                    "formats delivered every message in order\n");
     return 0;
 }

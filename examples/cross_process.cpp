@@ -100,8 +100,13 @@ runOneShot(XprocChannel &channel)
  */
 int
 runStreaming(XprocChannel &channel, long duration_secs,
-             std::size_t num_shards)
+             std::size_t num_shards, WireFormat format)
 {
+    if (format != WireFormat::V1 && !channel.negotiateFormat(format)) {
+        std::fprintf(stderr, "channel refused wire format %s\n",
+                     wireFormatName(format));
+        return 1;
+    }
     const bool chaos = faultinject::armed();
     if (chaos) {
         // The audit needs the child's injected counts and child-side
@@ -129,12 +134,13 @@ runStreaming(XprocChannel &channel, long duration_secs,
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::seconds(duration_secs);
+        Message burst[64];
+        for (auto &message : burst)
+            message = Message(Opcode::PointerCheck, 0x1000, 0xAAAA);
         while (send_ok && std::chrono::steady_clock::now() < deadline) {
-            for (int i = 0; send_ok && i < 64; ++i)
-                send_ok = channel
-                              .send(Message(Opcode::PointerCheck, 0x1000,
-                                            0xAAAA))
-                              .isOk();
+            // sendBatch exercises the real batched transmit: a loop of
+            // stamped sends on v1, whole frames on a v2 channel.
+            send_ok = channel.sendBatch(burst, 64).isOk();
             usleep(1000);
         }
         // Finale: the "exploit" corrupts the pointer, then a syscall
@@ -191,9 +197,10 @@ runStreaming(XprocChannel &channel, long duration_secs,
 
     const VerifierProcessStats stats = verifier.statsFor(pid);
     std::printf("cross-process HerQules demo (streaming %lds, %zu "
-                "shard%s)\n",
+                "shard%s, wire %s)\n",
                 duration_secs, verifier.numShards(),
-                verifier.numShards() == 1 ? "" : "s");
+                verifier.numShards() == 1 ? "" : "s",
+                wireFormatName(channel.format()));
     std::printf("  child pid %d, messages %llu, violations %llu, "
                 "syscall acks %llu\n",
                 child,
@@ -246,12 +253,17 @@ main(int argc, char **argv)
 
     long duration_secs = 0;
     std::size_t num_shards = 1; // single child; >1 exercises routing
+    WireFormat format = WireFormat::V1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
         else if (std::strncmp(argv[i], "--shards=", 9) == 0)
             num_shards = static_cast<std::size_t>(
                 std::strtoul(argv[i] + 9, nullptr, 10));
+        else if (std::strcmp(argv[i], "--format=v2") == 0)
+            format = WireFormat::V2;
+        else if (std::strcmp(argv[i], "--format=v1") == 0)
+            format = WireFormat::V1;
     }
     if (faultinject::armed() && duration_secs <= 0) {
         // The one-shot demo spins until it sees the Syscall message,
@@ -261,6 +273,14 @@ main(int argc, char **argv)
                      "faultinject armed: using streaming mode (2s)\n");
         duration_secs = 2;
     }
+    if (format != WireFormat::V1 && duration_secs <= 0) {
+        // The one-shot demo's manual tryRecv loop speaks v1 only; the
+        // framed format needs the verifier pipeline to decode.
+        std::fprintf(stderr, "wire format %s: using streaming mode "
+                             "(2s)\n",
+                     wireFormatName(format));
+        duration_secs = 2;
+    }
 
     XprocChannel channel(1 << 10);
     if (!channel.valid()) {
@@ -268,6 +288,6 @@ main(int argc, char **argv)
         return 0;
     }
     return duration_secs > 0
-               ? runStreaming(channel, duration_secs, num_shards)
+               ? runStreaming(channel, duration_secs, num_shards, format)
                : runOneShot(channel);
 }

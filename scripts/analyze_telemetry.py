@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Analyze HerQules telemetry dumps and structured event logs.
 
-Two modes:
+Three modes:
 
   report FILE...
       Human-readable verification-lag / latency report for one or more
       `--telemetry-out` JSON dumps (and `--event-log` JSONL files, whose
       records are tallied by type).
+
+  ring RAW.json [-o BENCH_ring.json] [--min-speedup X]
+      Post-process a `ring_throughput --json=RAW.json` result: compute
+      the v2/v1 verified-pipeline speedup and write BENCH_ring.json
+      (schema hq-ring-bench-summary/1). Exits non-zero when the raw run
+      failed or the speedup falls below --min-speedup (default 0 = no
+      gate; CI passes 1.5).
 
   summary DIR [-o OUT.json]
       Scan DIR for `*.telemetry.json` and `*.events.jsonl` and write one
@@ -128,6 +135,41 @@ def cmd_report(args):
     return 0
 
 
+def cmd_ring(args):
+    raw = load_dump(args.raw)
+    if raw.get("schema") != "hq-ring-bench/1":
+        sys.exit(f"{args.raw}: not an hq-ring-bench/1 result")
+    pipeline = raw.get("verified_pipeline", {})
+    v1 = pipeline.get("v1", {}).get("mmsg_per_sec")
+    v2 = pipeline.get("v2", {}).get("mmsg_per_sec")
+    speedup = (v2 / v1) if v1 and v2 else None
+
+    out = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(args.raw)), "BENCH_ring.json")
+    summary = {
+        "schema": "hq-ring-bench-summary/1",
+        "capacity": raw.get("capacity"),
+        "pipeline_messages": raw.get("pipeline_messages"),
+        "crc_backend": raw.get("crc_backend"),
+        "v1_mmsg_per_sec": v1,
+        "v2_mmsg_per_sec": v2,
+        "v2_over_v1_speedup": speedup,
+        "raw_ok": bool(raw.get("ok")),
+    }
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}: v1 {v1} Mmsg/s, v2 {v2} Mmsg/s, "
+          f"speedup {speedup and round(speedup, 3)}")
+
+    if not raw.get("ok"):
+        sys.exit("ring bench reported a verification failure")
+    if args.min_speedup and (speedup is None
+                             or speedup < args.min_speedup):
+        sys.exit(f"v2 speedup {speedup} below gate {args.min_speedup}")
+    return 0
+
+
 def cmd_summary(args):
     benches = {}
     for entry in sorted(os.listdir(args.dir)):
@@ -169,6 +211,14 @@ def main():
     report.add_argument("files", nargs="+",
                         help="telemetry .json dumps / .jsonl event logs")
     report.set_defaults(func=cmd_report)
+
+    ring = sub.add_parser("ring",
+                          help="summarize a ring_throughput --json run")
+    ring.add_argument("raw", help="raw hq-ring-bench/1 JSON result")
+    ring.add_argument("-o", "--output", default=None)
+    ring.add_argument("--min-speedup", type=float, default=0.0,
+                      help="fail when v2/v1 speedup is below this")
+    ring.set_defaults(func=cmd_ring)
 
     summary = sub.add_parser("summary",
                              help="write machine-readable BENCH_summary")

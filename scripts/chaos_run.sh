@@ -41,23 +41,48 @@ SPECS=(
     "seed=7,ring_drop:0.005,ring_corrupt:0.002,transport_delay:0.01"
 )
 
+# The v2 wire format moves integrity from per-message CRCs to frame
+# CRCs, so its lossy sites differ: whole frames are dropped (ring_drop
+# fires per frame in the framed send) or corrupted (frame_corrupt flips
+# a bit in an encoded frame — header or body, both must be caught).
+# ring_dup/ring_corrupt are per-message v1 sites that cannot fire on
+# the framed path, so the v2 list swaps them for frame_corrupt.
+SPECS_V2=(
+    "seed=7,ring_drop:0.01"
+    "seed=7,frame_corrupt:0.005"
+    "seed=7,ring_stall:1:20000:256"
+    "seed=7,transport_delay:0.02"
+    "seed=7,verifier_slow_poll:0.05"
+    "seed=7,ring_drop:0.005,frame_corrupt:0.002,transport_delay:0.01"
+)
+
 failures=0
 run=0
-for spec in "${SPECS[@]}"; do
+total_runs=$(( ${#SPECS[@]} + ${#SPECS_V2[@]} ))
+run_spec() {
+    local format="$1" spec="$2"
     run=$((run + 1))
-    log="$OUT_DIR/chaos_${run}.events.jsonl"
-    echo "=== chaos run $run/${#SPECS[@]}: --fault-spec=$spec"
-    if ! "$BIN" --duration="$DURATION" --fault-spec="$spec" \
-            --event-log="$log"; then
-        echo "chaos_run: FAILED (exit) spec=$spec" >&2
+    local log="$OUT_DIR/chaos_${run}.events.jsonl"
+    echo "=== chaos run $run/$total_runs ($format): --fault-spec=$spec"
+    if ! "$BIN" --duration="$DURATION" --format="$format" \
+            --fault-spec="$spec" --event-log="$log"; then
+        echo "chaos_run: FAILED (exit) format=$format spec=$spec" >&2
         failures=$((failures + 1))
-        continue
+        return
     fi
     if [[ -f "$log" ]] && grep -q '"type":"silent_accept"' "$log"; then
-        echo "chaos_run: FAILED (silent_accept record) spec=$spec" >&2
+        echo "chaos_run: FAILED (silent_accept record) format=$format" \
+             "spec=$spec" >&2
         grep '"type":"silent_accept"' "$log" >&2
         failures=$((failures + 1))
     fi
+}
+
+for spec in "${SPECS[@]}"; do
+    run_spec v1 "$spec"
+done
+for spec in "${SPECS_V2[@]}"; do
+    run_spec v2 "$spec"
 done
 
 # Schema-check whatever the sweep wrote: every line valid JSON, fixed
@@ -83,4 +108,4 @@ if [[ $failures -gt 0 || $schema_rc -ne 0 ]]; then
     echo "chaos_run: $failures failing spec(s), schema rc=$schema_rc" >&2
     exit 1
 fi
-echo "chaos_run: all ${#SPECS[@]} specs detected or safely denied"
+echo "chaos_run: all $total_runs specs (v1+v2) detected or safely denied"

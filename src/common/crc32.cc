@@ -1,0 +1,254 @@
+#include "common/crc32.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hq {
+namespace crc32 {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u; // reflected zlib polynomial
+
+/**
+ * Slice tables. Table 0 is the classic byte table; table k maps a byte
+ * processed k positions early, so eight lookups retire eight input
+ * bytes with no serial dependency between them.
+ */
+struct SliceTables
+{
+    std::uint32_t t[8][256];
+
+    constexpr SliceTables() : t()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc & 1u) ? kPoly ^ (crc >> 1) : crc >> 1;
+            t[0][i] = crc;
+        }
+        for (int k = 1; k < 8; ++k) {
+            for (std::uint32_t i = 0; i < 256; ++i)
+                t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+        }
+    }
+};
+
+constexpr SliceTables kTables;
+
+/** Byte loop in "raw" space (caller handles the pre/post inversion). */
+inline std::uint32_t
+rawScalar(std::uint32_t c, const unsigned char *p, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        c = kTables.t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c;
+}
+
+/** Slice-by-8 in raw space. */
+inline std::uint32_t
+rawSlice8(std::uint32_t c, const unsigned char *p, std::size_t len)
+{
+    while (len >= 8) {
+        std::uint32_t lo;
+        std::uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= c;
+        c = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+            kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+            kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+            kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+    return rawScalar(c, p, len);
+}
+
+std::atomic<Fn> g_dispatch{nullptr};
+
+} // namespace
+
+std::uint32_t
+scalar(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    return rawScalar(crc ^ 0xFFFFFFFFu, p, len) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+slice8(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    return rawSlice8(crc ^ 0xFFFFFFFFu, p, len) ^ 0xFFFFFFFFu;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool
+pclmulAvailable()
+{
+    return __builtin_cpu_supports("pclmul") &&
+           __builtin_cpu_supports("sse4.1");
+}
+
+/*
+ * PCLMULQDQ folding (Gopal et al., "Fast CRC Computation for Generic
+ * Polynomials Using PCLMULQDQ"; layout as in zlib's crc32_simd). The
+ * running 512-bit state is four 128-bit accumulators; one fold step
+ * multiplies an accumulator by x^T mod P (T = distance folded over, in
+ * bits) and XORs in the next block of input, preserving the invariant
+ * CRC(state || remaining input) == CRC(original input).
+ *
+ * Constants (reflected domain):
+ *   k1 = x^(4*128+32) mod P   k2 = x^(4*128-32) mod P   (fold 64 bytes)
+ *   k3 = x^(128+32)  mod P    k4 = x^(128-32)  mod P    (fold 16 bytes)
+ *
+ * Final reduction: instead of the Barrett step, the 16-byte accumulator
+ * is simply run through the raw table CRC (CRC-of-init-value identity:
+ * a raw init value XORs into the first bytes of the stream), which is
+ * exact and negligible at frame sizes.
+ */
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t
+pclmul(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    if (len < 64)
+        return rawSlice8(c, p, len) ^ 0xFFFFFFFFu;
+
+    const __m128i k1k2 =
+        _mm_set_epi64x(0x00000001c6e41596ll, 0x0000000154442bd4ll);
+    const __m128i k3k4 =
+        _mm_set_epi64x(0x00000000ccaa009ell, 0x00000001751997d0ll);
+
+    __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 16));
+    __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 32));
+    __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 48));
+    x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(c)));
+    p += 64;
+    len -= 64;
+
+    while (len >= 64) {
+        __m128i y1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+        __m128i y2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+        __m128i y3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+        __m128i y4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+        x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+        x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+        x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+        x1 = _mm_xor_si128(
+            x1, _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+        x2 = _mm_xor_si128(
+            x2,
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 16)));
+        x3 = _mm_xor_si128(
+            x3,
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 32)));
+        x4 = _mm_xor_si128(
+            x4,
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 48)));
+        x1 = _mm_xor_si128(x1, y1);
+        x2 = _mm_xor_si128(x2, y2);
+        x3 = _mm_xor_si128(x3, y3);
+        x4 = _mm_xor_si128(x4, y4);
+        p += 64;
+        len -= 64;
+    }
+
+    // Fold the four accumulators into one.
+    __m128i y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(x1, x2);
+    x1 = _mm_xor_si128(x1, y);
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(x1, x3);
+    x1 = _mm_xor_si128(x1, y);
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(x1, x4);
+    x1 = _mm_xor_si128(x1, y);
+
+    while (len >= 16) {
+        y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+        x1 = _mm_xor_si128(
+            x1, _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+        x1 = _mm_xor_si128(x1, y);
+        p += 16;
+        len -= 16;
+    }
+
+    alignas(16) unsigned char acc[16];
+    _mm_store_si128(reinterpret_cast<__m128i *>(acc), x1);
+    c = rawScalar(0, acc, 16);
+    return rawSlice8(c, p, len) ^ 0xFFFFFFFFu;
+}
+
+#else
+
+bool
+pclmulAvailable()
+{
+    return false;
+}
+
+#endif // x86
+
+namespace {
+
+Fn
+resolve()
+{
+    const char *force = std::getenv("HQ_FORCE_SCALAR_CRC");
+    if (force != nullptr && force[0] == '1')
+        return &scalar;
+#if defined(__x86_64__) || defined(__i386__)
+    if (pclmulAvailable())
+        return &pclmul;
+#endif
+    return &slice8;
+}
+
+} // namespace
+
+Fn
+best()
+{
+    Fn fn = g_dispatch.load(std::memory_order_relaxed);
+    if (fn == nullptr) {
+        fn = resolve();
+        g_dispatch.store(fn, std::memory_order_relaxed);
+    }
+    return fn;
+}
+
+const char *
+implName()
+{
+    const Fn fn = best();
+    if (fn == &scalar)
+        return "scalar";
+#if defined(__x86_64__) || defined(__i386__)
+    if (fn == &pclmul)
+        return "pclmul";
+#endif
+    return "slice8";
+}
+
+void
+redetect()
+{
+    g_dispatch.store(nullptr, std::memory_order_relaxed);
+}
+
+} // namespace crc32
+} // namespace hq

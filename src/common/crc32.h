@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CRC32 (reflected, polynomial 0xEDB88320 — the zlib/gzip CRC) with
+ * runtime-dispatched implementations.
+ *
+ * The v1 wire format pays a byte-at-a-time table CRC per 32-byte
+ * message; the v2 batched frame format amortizes one checksum over a
+ * whole frame, which makes the CRC kernel itself worth vectorizing:
+ *
+ *  - `scalar`  — the reference single-table byte loop (kept forever as
+ *    the differential-testing oracle; parity tests compare every other
+ *    implementation against it on random and adversarial buffers);
+ *  - `slice8`  — slice-by-8: eight derived tables consume 8 bytes per
+ *    iteration with no inter-byte dependency chain;
+ *  - `pclmul`  — carry-less-multiply folding (PCLMULQDQ + SSE4.1),
+ *    processing 64 bytes per fold iteration, compiled with a function
+ *    target attribute and selected only when CPUID reports support.
+ *
+ * `update()` dispatches through a function pointer resolved once at
+ * first use. Setting `HQ_FORCE_SCALAR_CRC=1` in the environment pins
+ * the scalar path (CI runs a no-SIMD leg this way), so every checksum
+ * the system produces is reproducible on any hardware.
+ *
+ * All implementations compute the identical function: zlib-style
+ * streaming, `crc' = update(crc, bytes, len)` with 0 as the initial
+ * value (pre/post inversion handled internally), so checksums can be
+ * chained across discontiguous spans (the frame decoder checks a
+ * wrapped ring without copying).
+ */
+
+#ifndef HQ_COMMON_CRC32_H
+#define HQ_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hq {
+namespace crc32 {
+
+/** Streaming CRC32 function type (zlib convention, initial crc = 0). */
+using Fn = std::uint32_t (*)(std::uint32_t crc, const void *data,
+                             std::size_t len);
+
+/** Reference byte-at-a-time table implementation (the parity oracle). */
+std::uint32_t scalar(std::uint32_t crc, const void *data, std::size_t len);
+
+/** Slice-by-8: 8 bytes per iteration, portable C++. */
+std::uint32_t slice8(std::uint32_t crc, const void *data, std::size_t len);
+
+/** True when this build carries the PCLMUL path and the CPU supports it. */
+bool pclmulAvailable();
+
+#if defined(__x86_64__) || defined(__i386__)
+/** PCLMULQDQ folding path; call only when pclmulAvailable(). */
+std::uint32_t pclmul(std::uint32_t crc, const void *data, std::size_t len);
+#endif
+
+/**
+ * The dispatched implementation: fastest available unless
+ * HQ_FORCE_SCALAR_CRC=1 pins the scalar path. Resolved once (relaxed
+ * atomic pointer), so the steady-state cost is one indirect call.
+ */
+Fn best();
+
+/** Name of the dispatched implementation ("scalar"/"slice8"/"pclmul"). */
+const char *implName();
+
+/** Streaming update through the dispatched implementation. */
+inline std::uint32_t
+update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    return best()(crc, data, len);
+}
+
+/** One-shot CRC32 of a buffer. */
+inline std::uint32_t
+compute(const void *data, std::size_t len)
+{
+    return update(0, data, len);
+}
+
+/** Re-run dispatch (tests toggle HQ_FORCE_SCALAR_CRC and re-resolve). */
+void redetect();
+
+} // namespace crc32
+} // namespace hq
+
+#endif // HQ_COMMON_CRC32_H

@@ -42,6 +42,7 @@ constexpr SiteInfo kSiteInfo[kNumSites] = {
     {"kernel_epoch_delay", true},
     {"verifier_crash", false},
     {"verifier_slow_poll", true},
+    {"frame_corrupt", false},
 };
 
 // splitmix64: seeds the per-site xorshift64 streams (src/common/rng.h
@@ -389,9 +390,17 @@ FaultPlan::describe() const
 void
 corrupt(Message &message)
 {
+    corruptBytes(&message, sizeof(Message));
+}
+
+void
+corruptBytes(void *data, std::size_t len)
+{
+    if (len == 0)
+        return;
     const std::uint64_t r = FaultPlan::instance().randomBits();
-    auto *bytes = reinterpret_cast<unsigned char *>(&message);
-    const std::size_t byte = (r >> 8) % sizeof(Message);
+    auto *bytes = static_cast<unsigned char *>(data);
+    const std::size_t byte = (r >> 8) % len;
     bytes[byte] ^= static_cast<unsigned char>(1u << (r & 7));
 }
 
@@ -512,6 +521,8 @@ emitAuditRecords()
         {Site::KernelLostNotify, {"kernel.epoch_timeouts", nullptr}},
         {Site::VerifierCrash,
          {"kernel.epoch_timeouts", "verifier.violations", nullptr}},
+        {Site::FrameCorrupt,
+         {"verifier.violations", "kernel.epoch_timeouts", nullptr}},
     };
 
     FaultPlan &plan = FaultPlan::instance();

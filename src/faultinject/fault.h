@@ -69,6 +69,8 @@ enum class Site : int {
     // Verifier event loop.
     VerifierCrash,    //!< verifier dies while handling a message
     VerifierSlowPoll, //!< poll pass starts late
+    // Wire format v2 frame path.
+    FrameCorrupt,     //!< one bit flipped in an encoded frame (post-CRC)
     NumSites,
 };
 
@@ -185,6 +187,11 @@ fire(Site site)
 /** Flip one deterministically chosen bit anywhere in the message
  *  (including the CRC field -- every flip must be detectable). */
 void corrupt(Message &message);
+
+/** Flip one deterministically chosen bit anywhere in an arbitrary
+ *  buffer (v2 frames: header or body, including the CRC fields --
+ *  every flip must be detectable by the frame decoder). */
+void corruptBytes(void *data, std::size_t len);
 
 /** configure() on the singleton; arms the global flag on success. */
 Status configureFromSpec(const std::string &spec);

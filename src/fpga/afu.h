@@ -81,6 +81,16 @@ class FpgaAfu
      */
     std::size_t hostReadBatch(Message *out, std::size_t max_count);
 
+    /**
+     * Zero-copy host read: view the queued writeback slots in place
+     * (the pinned buffer is the verifier's own mapping) and release
+     * them with hostConsume() only after they verify.
+     */
+    std::size_t hostPeekSpan(RecvSpan &out) { return _host_buffer.peekSpan(out); }
+
+    /** Release the first count slots of the last hostPeekSpan() view. */
+    void hostConsume(std::size_t count) { _host_buffer.consume(count); }
+
     /** Messages written back but not yet read by the verifier. */
     std::size_t hostPending() const { return _host_buffer.size(); }
 

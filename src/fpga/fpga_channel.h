@@ -25,6 +25,17 @@ class FpgaChannel : public Channel
     Status sendImpl(const Message &message) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
+    /// The device stamps one self-checking v1 message per slot, so the
+    /// channel stays v1-only — but the verifier can still validate
+    /// those messages in place in the pinned host buffer.
+    bool tryPeekSpan(RecvSpan &out) override
+    {
+        return _afu.hostPeekSpan(out) != 0;
+    }
+    void consumeSlots(std::size_t count) override
+    {
+        _afu.hostConsume(count);
+    }
     std::size_t pending() const override { return _afu.hostPending(); }
     const ChannelTraits &traits() const override { return _traits; }
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "ipc/frame.h"
 #include "ipc/message.h"
 #include "telemetry/lag.h"
 
@@ -55,6 +56,45 @@ class Channel
     Status send(const Message &message);
 
     /**
+     * Transmit count messages, preserving order. On a v1 channel this
+     * is a convenience loop over send(); on a v2-negotiated channel the
+     * batch travels as framed runs (header + packed records, at most
+     * frame::kMaxRecords per frame) so sequence/CRC stamping amortizes
+     * across the batch. May block when the transport is full.
+     */
+    Status sendBatch(const Message *messages, std::size_t count);
+
+    /**
+     * Wire format in effect. Channels start in v1 (one self-checking
+     * Message per slot); negotiateFormat(V2) upgrades ring-backed
+     * transports that support framing.
+     */
+    WireFormat format() const { return _format; }
+
+    /**
+     * Request a wire format. Returns true and switches when the
+     * transport supports it; otherwise the current format is kept
+     * (callers fall back to v1 silently — old peers stay valid). Call
+     * before the first send(); renegotiating mid-stream would tear the
+     * receiver's frame alignment.
+     */
+    bool
+    negotiateFormat(WireFormat want)
+    {
+        if (!supportsFormat(want))
+            return false;
+        _format = want;
+        return true;
+    }
+
+    /** Formats this transport can carry (base: v1 only). */
+    virtual bool
+    supportsFormat(WireFormat want) const
+    {
+        return want == WireFormat::V1;
+    }
+
+    /**
      * Receive the next message if one is available.
      * @return true and fills out when a message was dequeued.
      */
@@ -73,6 +113,43 @@ class Channel
     {
         return max_count != 0 && tryRecv(out[0]) ? 1 : 0;
     }
+
+    /**
+     * Zero-copy drain, step 1: borrow a view of every queued slot
+     * without dequeuing (at most two contiguous runs around the ring's
+     * wrap point). The verifier validates records in place — v1 CRC
+     * checks, v2 frame decode — and only then advances the consumer
+     * cursor with consumeSlots(), so corrupt data is never copied into
+     * trusted state first. Base channels (posix transports) do not
+     * expose their kernel-side buffers: they return false and the
+     * verifier falls back to the copying tryRecvBatch() path.
+     */
+    virtual bool
+    tryPeekSpan(RecvSpan &out)
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Zero-copy drain, step 2: release the first `count` slots of the
+     * last tryPeekSpan() view. Slot references into the released range
+     * are invalidated.
+     */
+    virtual void
+    consumeSlots(std::size_t count)
+    {
+        (void)count;
+    }
+
+    /**
+     * Receive-side ring capacity in slots, or 0 when the transport has
+     * no fixed slot ring (posix transports). The verifier feeds this to
+     * the v2 frame decoder: a header whose slot footprint exceeds the
+     * ring can never complete, so it must be rejected rather than
+     * waited for.
+     */
+    virtual std::size_t recvCapacity() const { return 0; }
 
     /** Approximate number of in-flight (sent but unreceived) messages. */
     virtual std::size_t pending() const = 0;
@@ -110,6 +187,22 @@ class Channel
     virtual Status sendImpl(const Message &message) = 0;
 
     /**
+     * Transport-specific all-or-nothing append of pre-encoded frame
+     * slots (v2 path). A frame must become visible to the consumer
+     * atomically — one release-store — or not at all; partial frames
+     * would tear the receiver's decode alignment. Only transports that
+     * report supportsFormat(V2) need to override.
+     */
+    virtual Status
+    sendSlotsImpl(const Message *slots, std::size_t count)
+    {
+        (void)slots;
+        (void)count;
+        return Status::error(StatusCode::FailedPrecondition,
+                             "transport has no framed (v2) send path");
+    }
+
+    /**
      * Replace the default private sidecar with an externally backed
      * one (XprocChannel: a region inside its shared mapping, so the
      * parent's verifier can read envelopes the child stamped).
@@ -122,8 +215,13 @@ class Channel
     }
 
   private:
+    /** One framed (v2) transmit of count <= frame::kMaxRecords
+     *  same-pid messages, including lag stamping per record. */
+    Status sendFramed(const Message *messages, std::size_t count);
+
     std::uint32_t _channel_id;
     std::uint64_t _send_count = 0;
+    WireFormat _format = WireFormat::V1;
     /// _lag owns; _lag_ptr publishes (release on create, acquire in
     /// lagSidecar()) so the verifier thread can race the lazy creation.
     std::unique_ptr<telemetry::LagSidecar> _lag;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/crc32.h"
+
 namespace hq {
 
 const char *
@@ -45,38 +47,16 @@ Message::toString() const
     return os.str();
 }
 
-namespace {
-
-struct CrcTable
-{
-    std::uint32_t entries[256];
-
-    constexpr CrcTable() : entries()
-    {
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t crc = i;
-            for (int bit = 0; bit < 8; ++bit)
-                crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
-            entries[i] = crc;
-        }
-    }
-};
-
-constexpr CrcTable kCrcTable;
-
-} // namespace
-
 std::uint32_t
 messageCrc(const Message &message)
 {
     // The 28 covered bytes are exactly op..seq: `pad` is the last field
-    // and the struct is packed tight (4+4+8+8+4 = 28).
+    // and the struct is packed tight (4+4+8+8+4 = 28). Dispatches
+    // through the shared CRC32 kernel; the value is bit-identical to
+    // the original byte-at-a-time table loop (golden fixtures and the
+    // AFU model depend on it).
     constexpr std::size_t kCoveredBytes = sizeof(Message) - sizeof(std::uint32_t);
-    const auto *bytes = reinterpret_cast<const unsigned char *>(&message);
-    std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < kCoveredBytes; ++i)
-        crc = kCrcTable.entries[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
+    return crc32::compute(&message, kCoveredBytes);
 }
 
 } // namespace hq

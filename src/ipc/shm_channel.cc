@@ -25,10 +25,39 @@ ShmChannel::sendImpl(const Message &message)
     return Status::ok();
 }
 
+Status
+ShmChannel::sendSlotsImpl(const Message *slots, std::size_t count)
+{
+    if (count > _ring.capacity())
+        return Status::error(StatusCode::InvalidArgument,
+                             "frame larger than the shm ring");
+    std::uint64_t spins = 0;
+    while (!_ring.tryPushAll(slots, count)) {
+        if (_max_send_spins != 0 && ++spins >= _max_send_spins)
+            return Status::error(
+                StatusCode::Unavailable,
+                "shm ring full: send spin budget exhausted (fail closed)");
+        std::this_thread::yield();
+    }
+    return Status::ok();
+}
+
 bool
 ShmChannel::tryRecv(Message &out)
 {
     return _ring.tryPop(out);
+}
+
+bool
+ShmChannel::tryPeekSpan(RecvSpan &out)
+{
+    return _ring.peekSpan(out) != 0;
+}
+
+void
+ShmChannel::consumeSlots(std::size_t count)
+{
+    _ring.consume(count);
 }
 
 std::size_t

@@ -23,10 +23,21 @@ class ShmChannel : public Channel
     explicit ShmChannel(std::size_t capacity);
 
     Status sendImpl(const Message &message) override;
+    Status sendSlotsImpl(const Message *slots, std::size_t count) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
+    bool tryPeekSpan(RecvSpan &out) override;
+    void consumeSlots(std::size_t count) override;
+    std::size_t recvCapacity() const override { return _ring.capacity(); }
     std::size_t pending() const override { return _ring.size(); }
     const ChannelTraits &traits() const override { return _traits; }
+
+    /** Ring-backed: carries v1 and the batched v2 frame format. */
+    bool
+    supportsFormat(WireFormat want) const override
+    {
+        return want == WireFormat::V1 || want == WireFormat::V2;
+    }
 
     /**
      * Model a compromised writer overwriting an already-sent message in

@@ -121,6 +121,48 @@ SpscRing::tryPushBatch(const Message *messages, std::size_t count)
 }
 
 bool
+SpscRing::tryPushAll(const Message *slots, std::size_t count)
+{
+    if (count == 0)
+        return true;
+    if (count > capacity())
+        return false;
+    // An injected stall makes this attempt see a full ring: the
+    // producer experiences back-pressure (and retries), never a torn
+    // frame — per-slot fault degradation would violate the
+    // all-or-nothing contract.
+    if (faultinject::armed() &&
+        faultinject::fire(faultinject::Site::RingStall)) {
+        if (telemetry::enabled())
+            pushFailCounter().inc();
+        return false;
+    }
+    const std::uint64_t tail = _tail.load(std::memory_order_relaxed);
+    std::uint64_t free_slots = capacity() - (tail - _cached_head);
+    if (free_slots < count) {
+        _cached_head = _head.load(std::memory_order_acquire);
+        free_slots = capacity() - (tail - _cached_head);
+        if (free_slots < count) {
+            if (telemetry::enabled())
+                pushFailCounter().inc();
+            return false;
+        }
+    }
+
+    const std::size_t start = static_cast<std::size_t>(tail & _mask);
+    const std::size_t first = std::min(count, capacity() - start);
+    std::memcpy(_slots.data() + start, slots, first * sizeof(Message));
+    if (count > first)
+        std::memcpy(_slots.data(), slots + first,
+                    (count - first) * sizeof(Message));
+
+    _tail.store(tail + count, std::memory_order_release);
+    if (telemetry::enabled())
+        occupancyGauge().set(tail + count - _cached_head);
+    return true;
+}
+
+bool
 SpscRing::tryPop(Message &out)
 {
     const std::uint64_t head = _head.load(std::memory_order_relaxed);
@@ -162,6 +204,35 @@ SpscRing::tryPopBatch(Message *out, std::size_t max_count)
 
     _head.store(head + n, std::memory_order_release);
     return n;
+}
+
+std::size_t
+SpscRing::peekSpan(RecvSpan &out)
+{
+    out.seg[0] = {};
+    out.seg[1] = {};
+    const std::uint64_t head = _head.load(std::memory_order_relaxed);
+    // One acquire load per drain poll — the same cross-core cost the
+    // copying pop paid, but the slot bytes themselves are not moved.
+    _cached_tail = _tail.load(std::memory_order_acquire);
+    const std::uint64_t available = _cached_tail - head;
+    if (available == 0)
+        return 0;
+
+    const std::size_t n = static_cast<std::size_t>(available);
+    const std::size_t start = static_cast<std::size_t>(head & _mask);
+    const std::size_t first = std::min(n, capacity() - start);
+    out.seg[0] = {_slots.data() + start, first};
+    if (n > first)
+        out.seg[1] = {_slots.data(), n - first};
+    return n;
+}
+
+void
+SpscRing::consume(std::size_t count)
+{
+    const std::uint64_t head = _head.load(std::memory_order_relaxed);
+    _head.store(head + count, std::memory_order_release);
 }
 
 bool

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "ipc/frame.h"
 #include "ipc/message.h"
 
 namespace hq {
@@ -53,6 +54,16 @@ class SpscRing
     std::size_t tryPushBatch(const Message *messages, std::size_t count);
 
     /**
+     * Append exactly count slots or none at all, with a single
+     * release-store of the producer cursor. The v2 frame path depends
+     * on this atomicity: a consumer that observes a frame header must
+     * observe the complete frame (partial publication would tear the
+     * receiver's decode alignment). Producer-side only.
+     * @return true when all count slots were appended.
+     */
+    bool tryPushAll(const Message *slots, std::size_t count);
+
+    /**
      * Remove the oldest message into out; fails when the ring is empty.
      * Consumer-side only.
      */
@@ -65,6 +76,19 @@ class SpscRing
      * @return number of messages dequeued (0 when empty).
      */
     std::size_t tryPopBatch(Message *out, std::size_t max_count);
+
+    /**
+     * Zero-copy drain: view every queued slot in place (at most two
+     * contiguous runs around the wrap point) without advancing the
+     * consumer cursor. The view stays valid until consume() releases
+     * the slots. Consumer-side only.
+     * @return number of slots viewable (== out.total()).
+     */
+    std::size_t peekSpan(RecvSpan &out);
+
+    /** Release the first count slots of the last peekSpan() view.
+     *  Consumer-side only. */
+    void consume(std::size_t count);
 
     /** Number of messages currently queued (approximate across threads). */
     std::size_t size() const;

@@ -125,10 +125,112 @@ XprocChannel::sendImpl(const Message &message)
     }
 }
 
+Status
+XprocChannel::sendSlotsImpl(const Message *slots, std::size_t count)
+{
+    namespace fi = faultinject;
+    if (!_region)
+        return Status::error(StatusCode::Unavailable, "no mapping");
+    if (count == 0)
+        return Status::ok();
+    if (count > _region->capacity)
+        return Status::error(StatusCode::InvalidArgument,
+                             "frame larger than the shared ring");
+
+    const std::uint64_t capacity = _region->capacity;
+    const std::uint64_t mask = capacity - 1;
+    bool counted_full = false;
+    bool deadline_set = false;
+    std::chrono::steady_clock::time_point deadline;
+    for (;;) {
+        // All-or-nothing: the frame is copied in full, then published
+        // with one release-store of the producer cursor, so the
+        // verifier process never observes a torn frame. An injected
+        // stall turns into back-pressure, exactly as on the v1 path.
+        const bool stalled = fi::fire(fi::Site::RingStall);
+        const std::uint64_t tail =
+            _region->tail.load(std::memory_order_relaxed);
+        if (!stalled) {
+            if (tail + count - _cached_head > capacity) {
+                _cached_head =
+                    _region->head.load(std::memory_order_acquire);
+            }
+            if (tail + count - _cached_head <= capacity) {
+                const std::size_t start =
+                    static_cast<std::size_t>(tail & mask);
+                const std::size_t first = std::min(
+                    count, static_cast<std::size_t>(capacity) - start);
+                std::memcpy(_region->slots + start, slots,
+                            first * sizeof(Message));
+                if (count > first)
+                    std::memcpy(_region->slots, slots + first,
+                                (count - first) * sizeof(Message));
+                _region->tail.store(tail + count,
+                                    std::memory_order_release);
+                if (telemetry::enabled())
+                    xprocOccupancyGauge().set(tail + count - _cached_head);
+                return Status::ok();
+            }
+        }
+        if (!counted_full && telemetry::enabled()) {
+            xprocFullWaitsCounter().inc();
+            counted_full = true;
+        }
+        if (_send_timeout.count() > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            if (!deadline_set) {
+                deadline = now + _send_timeout;
+                deadline_set = true;
+            } else if (now >= deadline) {
+                return Status::error(
+                    StatusCode::Unavailable,
+                    "shared ring full: send timed out (fail closed)");
+            }
+        }
+        std::this_thread::yield();
+    }
+}
+
 bool
 XprocChannel::tryRecv(Message &out)
 {
     return tryRecvBatch(&out, 1) == 1;
+}
+
+bool
+XprocChannel::tryPeekSpan(RecvSpan &out)
+{
+    out.seg[0] = {};
+    out.seg[1] = {};
+    if (!_region)
+        return false;
+    const std::uint64_t capacity = _region->capacity;
+    const std::uint64_t mask = capacity - 1;
+    const std::uint64_t head =
+        _region->head.load(std::memory_order_relaxed);
+    _cached_tail = _region->tail.load(std::memory_order_acquire);
+    const std::uint64_t available = _cached_tail - head;
+    if (available == 0)
+        return false;
+
+    const std::size_t n = static_cast<std::size_t>(available);
+    const std::size_t start = static_cast<std::size_t>(head & mask);
+    const std::size_t first =
+        std::min(n, static_cast<std::size_t>(capacity) - start);
+    out.seg[0] = {_region->slots + start, first};
+    if (n > first)
+        out.seg[1] = {_region->slots, n - first};
+    return true;
+}
+
+void
+XprocChannel::consumeSlots(std::size_t count)
+{
+    if (!_region)
+        return;
+    const std::uint64_t head =
+        _region->head.load(std::memory_order_relaxed);
+    _region->head.store(head + count, std::memory_order_release);
 }
 
 std::size_t

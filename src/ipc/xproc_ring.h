@@ -68,10 +68,26 @@ class XprocChannel : public Channel
     }
 
     Status sendImpl(const Message &message) override;
+    Status sendSlotsImpl(const Message *slots, std::size_t count) override;
     bool tryRecv(Message &out) override;
     std::size_t tryRecvBatch(Message *out, std::size_t max_count) override;
+    bool tryPeekSpan(RecvSpan &out) override;
+    void consumeSlots(std::size_t count) override;
+    std::size_t recvCapacity() const override
+    {
+        return _region != nullptr
+                   ? static_cast<std::size_t>(_region->capacity)
+                   : 0;
+    }
     std::size_t pending() const override;
     const ChannelTraits &traits() const override { return _traits; }
+
+    /** Ring-backed: carries v1 and the batched v2 frame format. */
+    bool
+    supportsFormat(WireFormat want) const override
+    {
+        return want == WireFormat::V1 || want == WireFormat::V2;
+    }
 
   private:
     XprocRingRegion *_region = nullptr;

@@ -44,6 +44,25 @@ class PointerIntegrityContext : public PolicyContext
     std::unique_ptr<PolicyContext> cloneForChild(Pid child) const override;
     std::size_t entryCount() const override { return _pointers.size(); }
 
+    /** Prefetch the shadow-store buckets a drained batch will probe
+     *  (point-lookup opcodes only; block operations scan anyway). */
+    void
+    prefetchBatch(const Message *messages, std::size_t count) override
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            switch (messages[i].op) {
+              case Opcode::PointerDefine:
+              case Opcode::PointerCheck:
+              case Opcode::PointerInvalidate:
+              case Opcode::PointerCheckInvalidate:
+                _pointers.prefetch(messages[i].arg0);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
     /** Kind of the most recent violation (for tests and RIPE harness). */
     PointerViolation lastViolation() const { return _last_violation; }
 

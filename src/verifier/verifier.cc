@@ -216,51 +216,10 @@ Verifier::pollShard(std::size_t shard_index)
         for (ChannelEntry *entry_ptr : shard.drain_list) {
             ChannelEntry &entry = *entry_ptr;
             const std::size_t n =
-                entry.channel->tryRecvBatch(batch, batch_max);
+                drainChannel(shard, entry, batch, batch_max);
             if (n == 0)
                 continue;
             progress = true;
-
-            // One telemetry scope per batch: a single clock-read pair
-            // and one histogram lock record the amortized per-message
-            // latency n times (so counts still mean "messages").
-            const bool telemetry_on = telemetry::enabled();
-            const std::uint64_t batch_start =
-                telemetry_on ? telemetry::nowNs() : 0;
-            telemetry::TraceScope check_scope("verifier.check_batch");
-
-            // Match lag envelopes before the checks so per-message lag
-            // is available to the event log on a violation.
-            std::uint64_t lag_ns[kMaxPollBatch];
-            if (telemetry_on)
-                recordBatchLag(entry, n, lag_ns);
-
-            {
-                // The memo holds the pid's home-shard state lock for
-                // the duration of the batch (released when it leaves
-                // scope, or swapped when a device-stamped batch
-                // switches to a pid hashing elsewhere).
-                PidMemo memo;
-                for (std::size_t i = 0; i < n; ++i) {
-                    handleMessage(entry, batch[i], memo,
-                                  telemetry_on ? lag_ns[i] : kNoLag);
-                    if (_crashed.load(std::memory_order_relaxed))
-                        break; // messages behind the crash are lost
-                }
-                entry.recv_index += n;
-
-                if (telemetry_on) {
-                    const std::uint64_t elapsed =
-                        telemetry::nowNs() - batch_start;
-                    msgLatencyHist().record(elapsed / n, n);
-                    messagesCounter().add(n);
-                    shard.messages_metric->add(n);
-                    if (memo.entry != nullptr)
-                        policyEntriesGauge().set(
-                            memo.entry->stats.max_entries);
-                }
-            }
-            shard.messages.fetch_add(n, std::memory_order_relaxed);
             processed += n;
             if (_crashed.load(std::memory_order_relaxed))
                 break;
@@ -274,6 +233,170 @@ Verifier::pollShard(std::size_t shard_index)
             telemetry::traceCounter("verifier.batch_msgs", processed);
     }
     return processed;
+}
+
+std::size_t
+Verifier::drainChannel(Shard &shard, ChannelEntry &entry, Message *scratch,
+                       std::size_t batch_max)
+{
+    if (entry.channel->format() == WireFormat::V2)
+        return drainFrames(shard, entry, scratch, batch_max);
+
+    RecvSpan span;
+    if (entry.channel->tryPeekSpan(span)) {
+        // v1 zero-copy: validate the self-checking messages where they
+        // sit in the ring (per-segment, so each batch is contiguous)
+        // and release the slots only after they have been checked.
+        std::size_t remaining = batch_max;
+        std::size_t drained = 0;
+        for (int s = 0; s < 2 && remaining != 0; ++s) {
+            const std::size_t run =
+                std::min(span.seg[s].count, remaining);
+            if (run == 0)
+                continue;
+            processBatch(shard, entry, span.seg[s].data, run, false);
+            drained += run;
+            remaining -= run;
+            if (_crashed.load(std::memory_order_relaxed))
+                break;
+        }
+        entry.channel->consumeSlots(drained);
+        return drained;
+    }
+
+    // Copying fallback: posix transports keep their buffers kernel-side.
+    const std::size_t n = entry.channel->tryRecvBatch(scratch, batch_max);
+    if (n != 0)
+        processBatch(shard, entry, scratch, n, false);
+    return n;
+}
+
+std::size_t
+Verifier::drainFrames(Shard &shard, ChannelEntry &entry, Message *scratch,
+                      std::size_t batch_max)
+{
+    const std::size_t cap = entry.channel->recvCapacity();
+    // Decode budgets: the ring bound rejects headers whose footprint can
+    // never fit (waiting for them would hang the drain); the record
+    // bound is the hard scratch-buffer ceiling, not the per-round
+    // fairness cap — fairness is enforced below at frame granularity.
+    const frame::DecodeLimits limits{
+        cap != 0 ? cap : frame::kMaxFrameSlots, kMaxPollBatch};
+    std::size_t records = 0;
+    while (true) {
+        RecvSpan span;
+        if (!entry.channel->tryPeekSpan(span))
+            break;
+        frame::FrameView view;
+        const frame::DecodeStatus status =
+            frame::decode(span, limits, view);
+        if (status == frame::DecodeStatus::NeedMore)
+            break; // producer mid-publish; the tail arrives shortly
+        if (status == frame::DecodeStatus::BadHeader) {
+            // The slot is not a valid frame header. Fail closed: record
+            // the corruption, drop exactly one slot, resync on the
+            // next. A garbage run yields one CorruptMsg per slot —
+            // noisy, but never a silent accept.
+            recordFrameCorruption(entry,
+                                  "frame header rejected (v2 decode)");
+            entry.channel->consumeSlots(1);
+            continue;
+        }
+        if (status == frame::DecodeStatus::BadBody) {
+            // Authentic header, corrupt records: skip the frame whole —
+            // never partially applied — and advance the record cursor
+            // by the header's count so lag matching stays aligned with
+            // the sender's per-record stamping.
+            recordFrameCorruption(entry,
+                                  "frame body CRC mismatch (v2 decode)");
+            entry.channel->consumeSlots(view.slots);
+            entry.recv_index += view.count;
+            continue;
+        }
+        // Ok. Enforce the fairness budget at whole-frame granularity;
+        // the first frame is always taken so a frame larger than the
+        // remaining budget cannot wedge the drain (kMaxRecords <=
+        // kMaxPollBatch keeps the scratch buffer in bounds).
+        if (records != 0 && records + view.count > batch_max)
+            break;
+        frame::unpackAll(span, view, scratch);
+        processBatch(shard, entry, scratch, view.count, true);
+        entry.channel->consumeSlots(view.slots);
+        records += view.count;
+        if (_crashed.load(std::memory_order_relaxed))
+            break;
+        if (records >= batch_max)
+            break;
+    }
+    return records;
+}
+
+void
+Verifier::processBatch(Shard &shard, ChannelEntry &entry,
+                       const Message *batch, std::size_t n,
+                       bool crc_trusted)
+{
+    // One telemetry scope per batch: a single clock-read pair and one
+    // histogram lock record the amortized per-message latency n times
+    // (so counts still mean "messages").
+    const bool telemetry_on = telemetry::enabled();
+    const std::uint64_t batch_start =
+        telemetry_on ? telemetry::nowNs() : 0;
+    telemetry::TraceScope check_scope("verifier.check_batch");
+
+    // Match lag envelopes before the checks so per-message lag is
+    // available to the event log on a violation.
+    std::uint64_t lag_ns[kMaxPollBatch];
+    if (telemetry_on)
+        recordBatchLag(entry, n, lag_ns);
+
+    {
+        // The memo holds the pid's home-shard state lock for the
+        // duration of the batch (released when it leaves scope, or
+        // swapped when a device-stamped batch switches to a pid hashing
+        // elsewhere).
+        PidMemo memo;
+        // Warm the policy tables once per batch. Software channels
+        // carry a single pid, so the context is known up front;
+        // device-stamped channels interleave pids and skip the hint.
+        if (!entry.device_stamped) {
+            ProcessEntry *process = lookupProcess(entry.owner, memo);
+            if (process != nullptr && !process->exited &&
+                process->context) {
+                process->context->prefetchBatch(batch, n);
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            handleMessage(entry, batch[i], memo,
+                          telemetry_on ? lag_ns[i] : kNoLag,
+                          crc_trusted);
+            if (_crashed.load(std::memory_order_relaxed))
+                break; // messages behind the crash are lost
+        }
+        entry.recv_index += n;
+
+        if (telemetry_on) {
+            const std::uint64_t elapsed =
+                telemetry::nowNs() - batch_start;
+            msgLatencyHist().record(elapsed / n, n);
+            messagesCounter().add(n);
+            shard.messages_metric->add(n);
+            if (memo.entry != nullptr)
+                policyEntriesGauge().set(memo.entry->stats.max_entries);
+        }
+    }
+    shard.messages.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Verifier::recordFrameCorruption(ChannelEntry &entry, const char *reason)
+{
+    PidMemo memo;
+    ProcessEntry *owner = lookupProcess(entry.owner, memo);
+    if (owner == nullptr || owner->exited)
+        return;
+    recordViolation(memo.home_shard, entry.owner, *owner, reason,
+                    Message{}, telemetry::EventType::CorruptMsg, kNoLag);
 }
 
 void
@@ -372,7 +495,8 @@ Verifier::lookupProcess(Pid pid, PidMemo &memo)
 
 void
 Verifier::handleMessage(ChannelEntry &entry, const Message &message,
-                        PidMemo &memo, std::uint64_t lag_ns)
+                        PidMemo &memo, std::uint64_t lag_ns,
+                        bool crc_trusted)
 {
     if (_crashed.load(std::memory_order_relaxed))
         return;
@@ -391,8 +515,10 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
     // mismatch means bits flipped in flight, and a corrupted message
     // must never be interpreted — not even its pid field. Attribute it
     // to the channel's registered owner and fail closed (no processing,
-    // no syscall ack).
-    if (_config.check_crc && message.pad != messageCrc(message)) {
+    // no syscall ack). v2 records skip this: their integrity was
+    // established by the frame CRCs and their pad is zero by unpacking.
+    if (_config.check_crc && !crc_trusted &&
+        message.pad != messageCrc(message)) {
         ProcessEntry *owner = lookupProcess(entry.owner, memo);
         if (owner != nullptr && !owner->exited) {
             recordViolation(memo.home_shard, entry.owner, *owner,

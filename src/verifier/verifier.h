@@ -292,8 +292,35 @@ class Verifier : public ProcessEventListener
     void shardLoop(std::size_t shard_index);
     /** Resolve pid's ProcessEntry via the memo, locking its home shard. */
     ProcessEntry *lookupProcess(Pid pid, PidMemo &memo);
+    /**
+     * Drain at most one poll-batch from a channel, picking the richest
+     * path the transport supports: v2 frame decode over a borrowed span,
+     * v1 in-place span validation, or the copying tryRecvBatch fallback.
+     * @return messages (records) processed.
+     */
+    std::size_t drainChannel(Shard &shard, ChannelEntry &entry,
+                             Message *scratch, std::size_t batch_max);
+    /** v2 drain: decode/validate frames in place, fail closed on
+     *  corruption, unpack good frames and process them as batches. */
+    std::size_t drainFrames(Shard &shard, ChannelEntry &entry,
+                            Message *scratch, std::size_t batch_max);
+    /**
+     * Feed n already-validated-or-self-checking messages drained from
+     * entry through lag matching, policy prefetch, and handleMessage;
+     * advances entry.recv_index and the batch telemetry. n must be > 0.
+     * @param crc_trusted integrity was established at frame granularity
+     *        (v2), so the per-message CRC check must not run — unpacked
+     *        records carry pad == 0 by construction.
+     */
+    void processBatch(Shard &shard, ChannelEntry &entry,
+                      const Message *batch, std::size_t n,
+                      bool crc_trusted);
+    /** CorruptMsg violation for a frame that failed decode, attributed
+     *  to the channel's registered owner (fail closed, no payload). */
+    void recordFrameCorruption(ChannelEntry &entry, const char *reason);
     void handleMessage(ChannelEntry &entry, const Message &message,
-                       PidMemo &memo, std::uint64_t lag_ns);
+                       PidMemo &memo, std::uint64_t lag_ns,
+                       bool crc_trusted);
     void recordViolation(std::size_t home_shard, Pid pid,
                          ProcessEntry &process, const std::string &reason,
                          const Message &message,

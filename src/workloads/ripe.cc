@@ -442,7 +442,7 @@ buildRipeModule(const RipeAttack &attack)
 
 RipeResult
 runRipeAttack(const RipeAttack &attack, CfiDesign design,
-              std::size_t num_shards)
+              std::size_t num_shards, WireFormat format)
 {
     RipeBuilder builder(attack);
     ir::Module module = builder.build();
@@ -465,6 +465,10 @@ runRipeAttack(const RipeAttack &attack, CfiDesign design,
     ShmChannel channel(1 << 12);
     std::unique_ptr<HqRuntime> runtime;
     if (info.hq_messages) {
+        // Negotiate before the first send; verdicts must be identical
+        // across wire formats (the wire-parity tests check exactly that).
+        if (format != WireFormat::V1 && !channel.negotiateFormat(format))
+            panic("ripe channel refused wire format negotiation");
         verifier.attachChannel(&channel, 1);
         runtime = std::make_unique<HqRuntime>(1, channel, kernel);
         if (!runtime->enable().isOk())

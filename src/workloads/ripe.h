@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cfi/design.h"
+#include "ipc/frame.h"
 #include "ir/module.h"
 
 namespace hq {
@@ -93,9 +94,12 @@ struct RipeResult
  * Execute one attack under one design (effectiveness mode: kill).
  * @param num_shards verifier shard count; policy verdicts must be
  *        identical for any value (shard-parity tests exercise 1 vs 4).
+ * @param format wire format negotiated on the message channel; verdicts
+ *        must be identical for v1 and v2 (wire-parity tests).
  */
 RipeResult runRipeAttack(const RipeAttack &attack, CfiDesign design,
-                         std::size_t num_shards = 1);
+                         std::size_t num_shards = 1,
+                         WireFormat format = WireFormat::V1);
 
 } // namespace hq
 

@@ -227,5 +227,30 @@ TEST(RipeSharding, FourShardVerdictsMatchSerialPerAttack)
     }
 }
 
+// The wire format must not change any policy verdict either: the same
+// attack corpus under a v1 and a v2 message channel must produce
+// identical succeed/detect/exit outcomes per attack. v2 batches records
+// into CRC'd frames, so the risk a parity bug would expose is records
+// reordered, dropped, or re-sequenced during framing.
+TEST(RipeWireFormat, V2VerdictsMatchV1PerAttack)
+{
+    const std::vector<RipeAttack> suite = ripeAttackSuite(1);
+    const CfiDesign designs[] = {CfiDesign::HqRetPtr, CfiDesign::HqSfeStk};
+    for (CfiDesign design : designs) {
+        for (const RipeAttack &a : suite) {
+            const RipeResult v1 =
+                runRipeAttack(a, design, 1, WireFormat::V1);
+            const RipeResult v2 =
+                runRipeAttack(a, design, 1, WireFormat::V2);
+            EXPECT_EQ(v1.succeeded, v2.succeeded)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(v1.detected, v2.detected)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(v1.exit, v2.exit)
+                << designInfo(design).name << " / " << a.name();
+        }
+    }
+}
+
 } // namespace
 } // namespace hq
