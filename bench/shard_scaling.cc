@@ -69,6 +69,9 @@ struct RunResult
 {
     double seconds = 0.0;
     bool ok = false;
+    /// Per-shard undrained-backlog high-water marks (messages), from
+    /// the health watchdog's verifier.shard<i>.queue_depth gauges.
+    std::vector<std::uint64_t> queue_high_water;
 };
 
 RunResult
@@ -80,6 +83,12 @@ runOnce(std::size_t num_shards, const std::vector<Pid> &pids,
     Verifier::Config config;
     config.kill_on_violation = false;
     config.num_shards = num_shards;
+    // Health watchdog on: its sampler is what populates the per-shard
+    // queue-depth gauges whose high water the report prints. A 5ms
+    // cadence samples a short run often enough to catch the backlog
+    // peak without perturbing the drain loops.
+    config.health_enabled = true;
+    config.health.interval = std::chrono::milliseconds(5);
     Verifier verifier(kernel, policy, config);
 
     std::vector<std::unique_ptr<ShmChannel>> channels;
@@ -121,6 +130,16 @@ runOnce(std::size_t num_shards, const std::vector<Pid> &pids,
         violations = violations || verifier.hasViolation(pid);
     result.ok = verifier.totalMessages() == expected &&
                 shard_sum == expected && !violations;
+
+    // Harvest (then clear) the queue-depth high-water gauges so each
+    // sweep point reports only its own backlog peak.
+    auto &registry = telemetry::Registry::instance();
+    for (std::size_t i = 0; i < verifier.numShards(); ++i) {
+        telemetry::Gauge &gauge = registry.gauge(
+            "verifier.shard" + std::to_string(i) + ".queue_depth");
+        result.queue_high_water.push_back(gauge.max());
+        gauge.reset();
+    }
     return result;
 }
 
@@ -173,6 +192,12 @@ main(int argc, char **argv)
         std::printf("%-8zu %12.4f %12.2f %9.2fx%s\n", shards,
                     result.seconds, rate, rate / single_rate,
                     result.ok ? "" : "  CORRECTNESS FAILURE");
+        std::printf("         queue-depth high water:");
+        for (std::size_t i = 0; i < result.queue_high_water.size(); ++i)
+            std::printf(" s%zu=%llu", i,
+                        static_cast<unsigned long long>(
+                            result.queue_high_water[i]));
+        std::printf("\n");
     }
 
     if (!all_ok) {

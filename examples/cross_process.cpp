@@ -24,6 +24,9 @@
  *
  *    plus --telemetry-out=FILE / --event-log=FILE for the exit dump
  *    and the structured violation log.
+ *  - --health: run the shard health watchdog (per-shard OK/DEGRADED/
+ *    STALLED state published to the statsboard; pairs with
+ *    `hq_stat --prom` for the fleet exporter).
  */
 
 #include <sys/wait.h>
@@ -100,7 +103,8 @@ runOneShot(XprocChannel &channel)
  */
 int
 runStreaming(XprocChannel &channel, long duration_secs,
-             std::size_t num_shards, WireFormat format)
+             std::size_t num_shards, WireFormat format,
+             bool health_enabled)
 {
     if (format != WireFormat::V1 && !channel.negotiateFormat(format)) {
         std::fprintf(stderr, "channel refused wire format %s\n",
@@ -169,6 +173,12 @@ runStreaming(XprocChannel &channel, long duration_secs,
     Verifier::Config config;
     config.kill_on_violation = false; // count, don't kill (§5 style)
     config.num_shards = num_shards;
+    if (health_enabled) {
+        // Snappy watchdog so a short --duration run still publishes
+        // per-shard health/heartbeat series into the statsboard.
+        config.health_enabled = true;
+        config.health.interval = std::chrono::milliseconds(50);
+    }
     if (chaos) {
         // Chaos runs exercise the full detection surface: sequence
         // gaps flag drops/dups, the CRC flags in-flight corruption.
@@ -254,6 +264,7 @@ main(int argc, char **argv)
     long duration_secs = 0;
     std::size_t num_shards = 1; // single child; >1 exercises routing
     WireFormat format = WireFormat::V1;
+    bool health_enabled = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
@@ -264,6 +275,8 @@ main(int argc, char **argv)
             format = WireFormat::V2;
         else if (std::strcmp(argv[i], "--format=v1") == 0)
             format = WireFormat::V1;
+        else if (std::strcmp(argv[i], "--health") == 0)
+            health_enabled = true;
     }
     if (faultinject::armed() && duration_secs <= 0) {
         // The one-shot demo spins until it sees the Syscall message,
@@ -288,6 +301,7 @@ main(int argc, char **argv)
         return 0;
     }
     return duration_secs > 0
-               ? runStreaming(channel, duration_secs, num_shards, format)
+               ? runStreaming(channel, duration_secs, num_shards, format,
+                              health_enabled)
                : runOneShot(channel);
 }

@@ -28,10 +28,13 @@ main(int argc, char **argv)
 
     double scale = 1.0;
     std::size_t num_shards = 1;
+    bool health_enabled = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--shards=", 9) == 0)
             num_shards = static_cast<std::size_t>(
                 std::strtoul(argv[i] + 9, nullptr, 10));
+        else if (std::strcmp(argv[i], "--health") == 0)
+            health_enabled = true;
         else if (argv[i][0] != '-')
             scale = std::atof(argv[i]);
     }
@@ -39,6 +42,7 @@ main(int argc, char **argv)
     RunnerOptions options;
     options.scale = scale;
     options.num_shards = num_shards;
+    options.health_enabled = health_enabled;
     WorkloadRunner runner(options);
     const SpecProfile &nginx = specProfile("nginx");
 

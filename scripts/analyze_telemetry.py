@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Analyze HerQules telemetry dumps and structured event logs.
 
-Three modes:
+Four modes:
 
   report FILE...
       Human-readable verification-lag / latency report for one or more
@@ -14,6 +14,13 @@ Three modes:
       (schema hq-ring-bench-summary/1). Exits non-zero when the raw run
       failed or the speedup falls below --min-speedup (default 0 = no
       gate; CI passes 1.5).
+
+  schema FILE...
+      Strict JSONL validation for event logs and flight-recorder dumps.
+      Event records must use the fixed 11-key order and a known type;
+      flight dumps must interleave `flight_header` lines with exactly
+      the number of `flight_record` lines each header declares. Exits
+      non-zero on the first malformed line (CI chaos gate).
 
   summary DIR [-o OUT.json]
       Scan DIR for `*.telemetry.json` and `*.events.jsonl` and write one
@@ -170,6 +177,64 @@ def cmd_ring(args):
     return 0
 
 
+# JSONL schemas, keyed by record type. Event records share one fixed
+# key order (telemetry/event_log.cc); flight lines have their own
+# (telemetry/flight_recorder.cc, shared by the signal-safe path).
+EVENT_KEYS = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "op",
+              "arg0", "arg1", "seq", "lag_ns", "reason"]
+EVENT_KINDS = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
+               "corrupt_msg", "verifier_restart", "silent_accept",
+               "health_change", "flight_dump"}
+FLIGHT_HEADER_KEYS = ["type", "trigger", "ts_wall_ms", "pid", "records"]
+FLIGHT_RECORD_KEYS = ["type", "ts_ns", "thread", "seq", "subsystem",
+                      "code", "pid", "shard", "arg0", "arg1"]
+
+
+def cmd_schema(args):
+    events = 0
+    flight_records = 0
+    flight_headers = 0
+    for path in args.files:
+        declared = 0   # records the last flight_header promised
+        seen = 0       # flight_record lines seen since that header
+        for lineno, line in enumerate(open(path), 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{where}: bad JSONL: {exc}")
+            kind = record.get("type")
+            if kind == "flight_header":
+                if seen != declared:
+                    sys.exit(f"{where}: previous flight_header declared "
+                             f"{declared} records, found {seen}")
+                if list(record) != FLIGHT_HEADER_KEYS:
+                    sys.exit(f"{where}: flight_header keys {list(record)}")
+                declared, seen = record["records"], 0
+                flight_headers += 1
+            elif kind == "flight_record":
+                if list(record) != FLIGHT_RECORD_KEYS:
+                    sys.exit(f"{where}: flight_record keys {list(record)}")
+                seen += 1
+                flight_records += 1
+            elif kind in EVENT_KINDS:
+                if list(record) != EVENT_KEYS:
+                    sys.exit(f"{where}: event key order {list(record)}")
+                events += 1
+            else:
+                sys.exit(f"{where}: unknown record type {kind!r}")
+        if seen != declared:
+            sys.exit(f"{path}: final flight_header declared {declared} "
+                     f"records, found {seen}")
+    print(f"schema ok: {events} event records, {flight_headers} flight "
+          f"dumps ({flight_records} flight records) across "
+          f"{len(args.files)} file(s)")
+    return 0
+
+
 def cmd_summary(args):
     benches = {}
     for entry in sorted(os.listdir(args.dir)):
@@ -219,6 +284,12 @@ def main():
     ring.add_argument("--min-speedup", type=float, default=0.0,
                       help="fail when v2/v1 speedup is below this")
     ring.set_defaults(func=cmd_ring)
+
+    schema = sub.add_parser("schema",
+                            help="strict JSONL schema validation")
+    schema.add_argument("files", nargs="+",
+                        help=".events.jsonl / .flight.jsonl streams")
+    schema.set_defaults(func=cmd_schema)
 
     summary = sub.add_parser("summary",
                              help="write machine-readable BENCH_summary")

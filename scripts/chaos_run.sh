@@ -63,9 +63,14 @@ run_spec() {
     local format="$1" spec="$2"
     run=$((run + 1))
     local log="$OUT_DIR/chaos_${run}.events.jsonl"
+    local flight="$OUT_DIR/chaos_${run}.flight.jsonl"
     echo "=== chaos run $run/$total_runs ($format): --fault-spec=$spec"
+    # Health watchdog + flight recorder ride every run: a chaos sweep is
+    # exactly when a wedged shard or fault storm should leave evidence,
+    # and the per-run flight dumps become CI artifacts.
     if ! "$BIN" --duration="$DURATION" --format="$format" \
-            --fault-spec="$spec" --event-log="$log"; then
+            --fault-spec="$spec" --event-log="$log" \
+            --health --flight-recorder="$flight"; then
         echo "chaos_run: FAILED (exit) format=$format spec=$spec" >&2
         failures=$((failures + 1))
         return
@@ -85,24 +90,20 @@ for spec in "${SPECS_V2[@]}"; do
     run_spec v2 "$spec"
 done
 
-# Schema-check whatever the sweep wrote: every line valid JSON, fixed
-# key order, known record type.
-python3 - "$OUT_DIR" <<'EOF'
-import glob, json, sys
-keys = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "op",
-        "arg0", "arg1", "seq", "lag_ns", "reason"]
-kinds = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
-         "corrupt_msg", "verifier_restart", "silent_accept"}
-n = 0
-for path in sorted(glob.glob(sys.argv[1] + "/chaos_*.events.jsonl")):
-    for line in open(path):
-        record = json.loads(line)
-        assert list(record) == keys, f"key order: {list(record)}"
-        assert record["type"] in kinds, record["type"]
-        n += 1
-print(f"chaos event logs ok: {n} records")
-EOF
-schema_rc=$?
+# Schema-check whatever the sweep wrote — event logs (fixed key order,
+# known record types, now including health_change/flight_dump) and the
+# flight-recorder dumps (flight_header record counts must match).
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+shopt -s nullglob
+jsonl_files=("$OUT_DIR"/chaos_*.events.jsonl "$OUT_DIR"/chaos_*.flight.jsonl)
+shopt -u nullglob
+if [[ ${#jsonl_files[@]} -gt 0 ]]; then
+    python3 "$SCRIPT_DIR/analyze_telemetry.py" schema "${jsonl_files[@]}"
+    schema_rc=$?
+else
+    echo "chaos_run: no JSONL streams written" >&2
+    schema_rc=1
+fi
 
 if [[ $failures -gt 0 || $schema_rc -ne 0 ]]; then
     echo "chaos_run: $failures failing spec(s), schema rc=$schema_rc" >&2

@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "ipc/message.h"
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace hq {
@@ -43,6 +44,9 @@ constexpr SiteInfo kSiteInfo[kNumSites] = {
     {"verifier_crash", false},
     {"verifier_slow_poll", true},
     {"frame_corrupt", false},
+    // Latency-only: a wedged shard delays validation but loses nothing;
+    // the kernel's epoch timeout (and the health watchdog) catch it.
+    {"verifier_shard_stall", true},
 };
 
 // splitmix64: seeds the per-site xorshift64 streams (src/common/rng.h
@@ -230,10 +234,19 @@ FaultPlan::fire(Site site)
         if (draw >= threshold)
             return false;
     }
-    state.injected.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t fired =
+        state.injected.fetch_add(1, std::memory_order_relaxed) + 1;
     auto *counter = static_cast<telemetry::Counter *>(state.counter);
     if (counter != nullptr && telemetry::enabled())
         counter->inc();
+    // Every injection is flight-recorded (and triggers a rate-limited
+    // dump): a chaos run's dumps show what the pipeline did around each
+    // fault, which the audit counters alone cannot reconstruct.
+    telemetry::flight::record(telemetry::flight::Subsystem::Fault,
+                              telemetry::flight::Code::FaultInjected, 0,
+                              -1, static_cast<std::uint64_t>(index),
+                              fired);
+    telemetry::flight::requestDump("fault injected");
     return true;
 }
 

@@ -71,6 +71,8 @@ enum class Site : int {
     VerifierSlowPoll, //!< poll pass starts late
     // Wire format v2 frame path.
     FrameCorrupt,     //!< one bit flipped in an encoded frame (post-CRC)
+    // Shard health watchdog.
+    VerifierShardStall, //!< one shard's drain loop wedges (sticky)
     NumSites,
 };
 

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "faultinject/fault.h"
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "verifier/shard.h" // shardIndexFor: the verifier's pid hash
@@ -249,6 +250,15 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
             }
             context->killed = true;
             context->kill_reason = "synchronization epoch expired";
+            telemetry::flight::record(
+                telemetry::flight::Subsystem::Kernel,
+                telemetry::flight::Code::EpochTimeout, pid, -1,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        epoch)
+                        .count()),
+                static_cast<std::uint64_t>(sysno));
+            telemetry::flight::requestDump("epoch timeout");
             logWarn("kernel: epoch expired for pid ", pid, " at syscall ",
                     sysno);
             return Status::error(StatusCode::PolicyViolation,
@@ -283,6 +293,9 @@ KernelModule::syscallResume(Pid pid)
     if (!context)
         return;
     context->sync_ok = true;
+    telemetry::flight::record(telemetry::flight::Subsystem::Kernel,
+                              telemetry::flight::Code::SyscallResume, pid,
+                              -1);
     context->cv.notify_all();
 }
 
@@ -296,6 +309,9 @@ KernelModule::killProcess(Pid pid, const std::string &reason)
         return;
     context->killed = true;
     context->kill_reason = reason;
+    telemetry::flight::record(telemetry::flight::Subsystem::Kernel,
+                              telemetry::flight::Code::ProcessKilled, pid,
+                              -1);
     context->cv.notify_all();
 }
 

@@ -31,6 +31,10 @@ eventTypeName(EventType type)
         return "verifier_restart";
       case EventType::SilentAccept:
         return "silent_accept";
+      case EventType::HealthChange:
+        return "health_change";
+      case EventType::FlightDump:
+        return "flight_dump";
     }
     return "unknown";
 }

@@ -42,6 +42,8 @@ enum class EventType {
     CorruptMsg,   //!< message failed its CRC guard (bit-flip detected)
     VerifierRestart, //!< verifier re-attached and replayed live pids
     SilentAccept, //!< injected fault class with no detector fired (audit)
+    HealthChange, //!< shard health state transition (watchdog)
+    FlightDump,   //!< flight-recorder dump written (reason = trigger)
 };
 
 const char *eventTypeName(EventType type);

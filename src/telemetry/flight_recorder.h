@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Flight recorder: a lock-free, per-thread ring of the last N fixed-size
+ * structured records, always cheap enough to leave on in production.
+ *
+ * The verifier's security argument is *bounded asynchronous validation*:
+ * a syscall may not retire until the owning shard has drained the
+ * process's queue. When that bound is about to be violated — a wedged
+ * drain loop, an SLO breach, a policy violation — the most valuable
+ * evidence is what the enforcement pipeline did in the last few
+ * milliseconds, which the metrics registry (monotonic totals) cannot
+ * reconstruct. Each thread records into its own fixed ring with one
+ * relaxed atomic store-sequence per 64-byte record; a dump walks every
+ * ring, merges by timestamp and appends the snapshot as JSONL next to
+ * the event log (`flight_header` + `flight_record` lines), emitting a
+ * `flight_dump` event-log record as the cross-reference.
+ *
+ * Dump triggers: policy-violation verdicts, verification-lag SLO
+ * breaches, fault-injection fires, shard health transitions to STALLED,
+ * fatal signals (async-signal-safe path), and on demand. Triggered
+ * dumps are rate-limited (requestDump) so a violation storm cannot turn
+ * the recorder into a log flood.
+ *
+ * Cost model: disabled, every record() is one relaxed load + branch
+ * (same discipline as telemetry::enabled(), so the <2% disabled-overhead
+ * ctest gate holds). Enabled, a record is one clock read plus eight
+ * relaxed 64-bit stores into a thread-local slot — no locks, no RMW on
+ * shared cache lines. Readers (dump) race benignly with writers: a torn
+ * record is confined to the one slot being overwritten, the same
+ * tolerance the statsboard seqlock copy uses.
+ */
+
+#ifndef HQ_TELEMETRY_FLIGHT_RECORDER_H
+#define HQ_TELEMETRY_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hq {
+namespace telemetry {
+namespace flight {
+
+/** Component that emitted a record (JSONL "subsystem"). */
+enum class Subsystem : std::uint32_t {
+    Verifier = 0,
+    Kernel,
+    Ipc,
+    Fault,
+    Health,
+    App, //!< harness/bench-defined records
+};
+
+/** What happened (JSONL "code"). Args are code-specific. */
+enum class Code : std::uint32_t {
+    DrainBatch = 0,   //!< arg0 = messages drained, arg1 = channel id
+    Violation,        //!< arg0 = opcode, arg1 = message seq
+    SyscallAck,       //!< arg0 = acks so far for pid
+    SloBreach,        //!< arg0 = lag_ns, arg1 = slo_ns
+    EpochTimeout,     //!< arg0 = waited_ns
+    ProcessKilled,    //!< arg0 = 0
+    SyscallResume,    //!< arg0 = 0
+    FaultInjected,    //!< arg0 = site index, arg1 = injection count
+    HealthTransition, //!< arg0 = from state, arg1 = to state
+    Heartbeat,        //!< arg0 = heartbeat, arg1 = queue depth
+    Custom,           //!< app-defined
+};
+
+const char *subsystemName(Subsystem subsystem);
+const char *codeName(Code code);
+
+/** One flight record; exactly 64 bytes (one cache line). */
+struct Record
+{
+    std::uint64_t ts_ns = 0;  //!< monotonicRawNs() at record time
+    std::uint64_t seq = 0;    //!< per-thread monotonic record index
+    std::uint64_t pid = 0;    //!< monitored pid (0 = none)
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint32_t subsystem = 0; //!< Subsystem
+    std::uint32_t code = 0;      //!< Code
+    std::int32_t shard = -1;     //!< verifier shard (-1 = none)
+    std::uint32_t thread = 0;    //!< recorder slot id (stable per thread)
+    std::uint64_t reserved = 0;  //!< pads the record to one cache line
+};
+static_assert(sizeof(Record) == 64, "flight records are one cache line");
+
+/** Records retained per thread ring (power of two). */
+constexpr std::size_t kRecordsPerThread = 512;
+/** Concurrent recording threads tracked; later threads drop records. */
+constexpr std::size_t kMaxThreads = 64;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void record(Subsystem subsystem, Code code, std::uint64_t pid,
+            std::int32_t shard, std::uint64_t arg0, std::uint64_t arg1);
+} // namespace detail
+
+/** True when the recorder is on (one relaxed load; hot-path safe). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off (--flight-recorder flag; tests). */
+void setEnabled(bool on);
+
+/**
+ * Append one record to the calling thread's ring. Compiles to a single
+ * branch when disabled; never blocks, never allocates after the
+ * thread's first record.
+ */
+inline void
+record(Subsystem subsystem, Code code, std::uint64_t pid,
+       std::int32_t shard, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0)
+{
+    if (!enabled())
+        return;
+    detail::record(subsystem, code, pid, shard, arg0, arg1);
+}
+
+/**
+ * Open (truncate) the JSONL dump file; dumps append to it so one run's
+ * triggered dumps land in a single stream. The descriptor is kept open
+ * for the async-signal-safe path. An empty path closes the file.
+ * @return true when the file is ready (or was closed on "").
+ */
+bool configure(const std::string &path);
+
+/** Currently configured dump path ("" = none). */
+std::string dumpPath();
+
+/**
+ * Snapshot every thread ring, merge by timestamp, and append the dump
+ * to the configured file: one `flight_header` line (trigger, record
+ * count) followed by one `flight_record` line per record. Also emits a
+ * `flight_dump` record into the JSONL event log when active, so event
+ * streams cross-reference their dumps.
+ * @return number of records written (0 when no file is configured).
+ */
+std::size_t dump(const char *trigger);
+
+/**
+ * Rate-limited dump(): at most one dump per second fires regardless of
+ * how many triggers ask (violation storms, per-message SLO breaches).
+ * No-op when disabled or unconfigured.
+ */
+void requestDump(const char *trigger);
+
+/** Copy out all live records, merged oldest-first (tests, tools). */
+std::vector<Record> snapshot();
+
+/**
+ * Async-signal-safe dump of every ring to `fd` (same JSONL schema, no
+ * timestamp merge — records appear per-ring). Only write(2) and stack
+ * buffers; callable from a fatal-signal handler.
+ */
+void dumpSignalSafe(int fd, const char *trigger);
+
+/**
+ * Install fatal-signal handlers (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT)
+ * that dumpSignalSafe() into the configured file and then re-raise with
+ * default disposition, so a crashing run leaves its last records behind.
+ */
+void installFatalSignalDump();
+
+/** Drop every ring's records and reset per-thread sequence state.
+ *  Test isolation only — racing recorders may keep stale slots. */
+void resetForTest();
+
+} // namespace flight
+} // namespace telemetry
+} // namespace hq
+
+#endif // HQ_TELEMETRY_FLIGHT_RECORDER_H

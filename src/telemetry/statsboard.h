@@ -29,11 +29,14 @@ namespace hq {
 namespace telemetry {
 
 constexpr std::uint32_t kStatsBoardMagic = 0x42535148; // "HQSB" LE
-constexpr std::uint32_t kStatsBoardVersion = 1;
+// v2: capacities raised for the per-shard health/heartbeat/queue-depth
+// gauges (16 shards x 4 gauges on top of the base set). Readers check
+// the version, so a stale hq_stat never misreads a v2 layout.
+constexpr std::uint32_t kStatsBoardVersion = 2;
 constexpr std::size_t kStatsBoardNameLen = 48;
-constexpr std::size_t kStatsBoardMaxCounters = 64;
-constexpr std::size_t kStatsBoardMaxGauges = 32;
-constexpr std::size_t kStatsBoardMaxHistograms = 32;
+constexpr std::size_t kStatsBoardMaxCounters = 128;
+constexpr std::size_t kStatsBoardMaxGauges = 96;
+constexpr std::size_t kStatsBoardMaxHistograms = 48;
 
 struct BoardCounter
 {

@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -8,8 +10,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/statsboard.h"
 #include "telemetry/trace.h"
 
@@ -125,10 +130,18 @@ Histogram::percentile(double p) const
             bucketRange(i, lo, hi);
             // Interpolate by rank within the bucket, then clamp to the
             // exactly-tracked extrema so outputs never exceed samples.
+            // The buckets are log2 ranges, so the interpolation is
+            // geometric — lo * (hi/lo)^frac — which is unbiased for an
+            // exponential bucket; the arithmetic (linear) form skews
+            // toward the bucket floor and under-reports p99. Bucket 0
+            // starts at zero, where the geometric form degenerates, so
+            // it keeps the linear ramp.
             const double frac =
                 static_cast<double>(target - cumulative) /
                 static_cast<double>(_buckets[i]);
-            const double value = lo + frac * (hi - lo);
+            const double value =
+                lo > 0.0 ? lo * std::pow(hi / lo, frac)
+                         : lo + frac * (hi - lo);
             return std::clamp(value, _stat.min(), _stat.max());
         }
         cumulative += _buckets[i];
@@ -348,6 +361,168 @@ Registry::toJson() const
     return os.str();
 }
 
+// --- Prometheus text exposition --------------------------------------
+
+namespace {
+
+bool
+allDigits(const std::string &text, std::size_t from)
+{
+    if (from >= text.size())
+        return false;
+    for (std::size_t i = from; i < text.size(); ++i) {
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+    }
+    return true;
+}
+
+void
+appendSanitizedComponent(std::string &name, const std::string &component)
+{
+    name += '_';
+    for (char c : component) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        name += ok ? c : '_';
+    }
+}
+
+void
+appendLabel(std::string &labels, const char *key,
+            const std::string &value)
+{
+    if (!labels.empty())
+        labels += ',';
+    labels += key;
+    labels += "=\"";
+    labels += value;
+    labels += '"';
+}
+
+std::string
+promDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+}
+
+/** Accumulates samples grouped per family so each `# TYPE` line is
+ *  emitted exactly once even when many labeled series share it. */
+struct PromWriter
+{
+    // family -> exposition type; map keeps the output name-ordered.
+    std::map<std::string, const char *> types;
+    std::map<std::string, std::vector<std::string>> samples;
+
+    /** One sample line; `name` may extend family (e.g. `_sum`). */
+    void
+    add(const std::string &family, const char *type,
+        const std::string &name, const std::string &labels,
+        const std::string &value)
+    {
+        types.emplace(family, type);
+        std::string line = name;
+        if (!labels.empty())
+            line += '{' + labels + '}';
+        line += ' ';
+        line += value;
+        line += '\n';
+        samples[family].push_back(std::move(line));
+    }
+
+    std::string
+    str() const
+    {
+        std::string out;
+        for (const auto &[family, type] : types) {
+            out += "# TYPE ";
+            out += family;
+            out += ' ';
+            out += type;
+            out += '\n';
+            auto it = samples.find(family);
+            if (it != samples.end()) {
+                for (const std::string &line : it->second)
+                    out += line;
+            }
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+PromSeries
+prometheusSeries(const std::string &metric)
+{
+    PromSeries out;
+    out.name = "hq";
+    std::size_t start = 0;
+    while (start <= metric.size()) {
+        const std::size_t dot = metric.find('.', start);
+        const std::size_t len =
+            (dot == std::string::npos ? metric.size() : dot) - start;
+        const std::string component = metric.substr(start, len);
+        if (component.rfind("shard", 0) == 0 &&
+            allDigits(component, 5)) {
+            appendLabel(out.labels, "shard", component.substr(5));
+        } else if (component.rfind("pid_", 0) == 0 &&
+                   allDigits(component, 4)) {
+            appendLabel(out.labels, "pid", component.substr(4));
+        } else if (!component.empty()) {
+            appendSanitizedComponent(out.name, component);
+        }
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return out;
+}
+
+std::string
+Registry::toPrometheus() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    PromWriter writer;
+    for (const auto &[name, counter] : _counters) {
+        const PromSeries series = prometheusSeries(name);
+        const std::string family = series.name + "_total";
+        writer.add(family, "counter", family, series.labels,
+                   std::to_string(counter->value()));
+    }
+    for (const auto &[name, gauge] : _gauges) {
+        const PromSeries series = prometheusSeries(name);
+        writer.add(series.name, "gauge", series.name, series.labels,
+                   std::to_string(gauge->value()));
+        const std::string family = series.name + "_max";
+        writer.add(family, "gauge", family, series.labels,
+                   std::to_string(gauge->max()));
+    }
+    for (const auto &[name, histogram] : _histograms) {
+        const PromSeries series = prometheusSeries(name);
+        const std::uint64_t count = histogram->count();
+        if (count != 0) {
+            static constexpr std::pair<const char *, double> kQuantiles[] =
+                {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+            for (const auto &[q, p] : kQuantiles) {
+                std::string labels = series.labels;
+                appendLabel(labels, "quantile", q);
+                writer.add(series.name, "summary", series.name, labels,
+                           promDouble(histogram->percentile(p)));
+            }
+        }
+        writer.add(series.name, "summary", series.name + "_sum",
+                   series.labels,
+                   promDouble(histogram->mean() *
+                              static_cast<double>(count)));
+        writer.add(series.name, "summary", series.name + "_count",
+                   series.labels, std::to_string(count));
+    }
+    return writer.str();
+}
+
 void
 Registry::forEachCounter(
     const std::function<void(const std::string &, const Counter &)>
@@ -418,6 +593,10 @@ flushAtExit()
         g_publisher->stop();
         g_publisher.reset();
     }
+    // Final flight dump before the event log closes, so the paired
+    // flight_dump record still lands in the JSONL stream.
+    if (flight::enabled())
+        flight::dump("exit");
     EventLog::instance().close();
     if (g_out_path.empty())
         return;
@@ -436,10 +615,13 @@ handleBenchArgs(int &argc, char **argv)
     const std::string kOutFlag = "--telemetry-out=";
     const std::string kEventLogFlag = "--event-log=";
     const std::string kStatsBoardFlag = "--statsboard";
+    const std::string kFlightFlag = "--flight-recorder";
     bool enable = false;
     std::string event_log_path;
     bool statsboard = false;
     std::string statsboard_name;
+    bool flight_recorder = false;
+    std::string flight_path;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -458,6 +640,13 @@ handleBenchArgs(int &argc, char **argv)
             enable = true;
             if (arg.size() > kStatsBoardFlag.size() + 1)
                 statsboard_name = arg.substr(kStatsBoardFlag.size() + 1);
+        } else if (arg.rfind(kFlightFlag, 0) == 0 &&
+                   (arg.size() == kFlightFlag.size() ||
+                    arg[kFlightFlag.size()] == '=')) {
+            flight_recorder = true;
+            enable = true;
+            if (arg.size() > kFlightFlag.size() + 1)
+                flight_path = arg.substr(kFlightFlag.size() + 1);
         } else {
             argv[out++] = argv[i];
         }
@@ -484,6 +673,20 @@ handleBenchArgs(int &argc, char **argv)
             g_publisher->start();
             std::fprintf(stderr, "telemetry: statsboard at %s\n",
                          g_publisher->name().c_str());
+        }
+    }
+    if (flight_recorder) {
+        if (flight_path.empty())
+            flight_path = "flight." + std::to_string(::getpid()) + ".jsonl";
+        if (flight::configure(flight_path)) {
+            flight::setEnabled(true);
+            flight::installFatalSignalDump();
+            std::fprintf(stderr, "telemetry: flight recorder -> %s\n",
+                         flight_path.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "telemetry: failed to open flight dump %s\n",
+                         flight_path.c_str());
         }
     }
     std::atexit(flushAtExit);

@@ -154,9 +154,12 @@ class Histogram
     std::uint64_t count() const;
 
     /**
-     * Value at percentile p in [0, 100]: lower edge of the bucket that
-     * holds the p-th sample, linearly interpolated by rank within the
-     * bucket and clamped to the observed extrema. 0 when empty.
+     * Value at percentile p in [0, 100]: rank-interpolated within the
+     * bucket that holds the p-th sample. Buckets are log2 ranges, so
+     * interpolation is geometric (lo * 2^frac) — the unbiased choice
+     * for an exponential bucket; linear interpolation lands on the
+     * arithmetic midpoint and systematically under-reports high
+     * percentiles. Clamped to the observed extrema. 0 when empty.
      */
     double percentile(double p) const;
 
@@ -200,6 +203,17 @@ class Registry
      * count/mean/stddev/min/max/p50/p90/p99 per histogram.
      */
     std::string toJson() const;
+
+    /**
+     * All metrics in the Prometheus text exposition format (version
+     * 0.0.4): counters as `<name>_total`, gauges as `<name>` plus a
+     * `<name>_max` high-water series, histograms as summaries
+     * (quantile 0.5/0.9/0.99 + `_sum`/`_count`). Names are derived via
+     * prometheusSeries(), so per-shard and per-pid metrics become
+     * labeled series of one family. Ends with a newline; parseable by
+     * the node-exporter textfile collector.
+     */
+    std::string toPrometheus() const;
 
     /**
      * Visit every metric of one kind in name order. The registry mutex
@@ -303,6 +317,28 @@ class ScopedTimer
     std::uint64_t _start;
 };
 
+// --- Prometheus naming -----------------------------------------------
+
+/**
+ * A registry metric name mapped onto the Prometheus data model: a
+ * `hq_`-prefixed, sanitized family name plus a label set. Structured
+ * components become labels instead of name fragments, so the fleet
+ * aggregator can sum/filter across them:
+ *
+ *   verifier.shard3.messages  -> hq_verifier_messages, shard="3"
+ *   verifier.lag_ns.pid_42    -> hq_verifier_lag_ns,   pid="42"
+ *   ipc.ring_occupancy        -> hq_ipc_ring_occupancy (no labels)
+ *
+ * Any other character outside [a-zA-Z0-9_] is replaced with '_'.
+ */
+struct PromSeries
+{
+    std::string name;   //!< metric family name
+    std::string labels; //!< comma-joined `key="value"` pairs ("" = none)
+};
+
+PromSeries prometheusSeries(const std::string &metric);
+
 // --- Export ----------------------------------------------------------
 
 /**
@@ -326,6 +362,9 @@ bool writeJsonFile(const std::string &path);
  *  - `--statsboard[=NAME]`: enable recording and start the shared-
  *    memory statsboard publisher (segment NAME, default
  *    /hq_stats.<pid>) that tools/hq_stat attaches to.
+ *  - `--flight-recorder[=FILE]`: enable the flight recorder, append
+ *    triggered dumps (and one final dump at exit) to FILE (default
+ *    flight.<pid>.jsonl) and install the fatal-signal dump handler.
  *
  * Call first thing in main().
  */

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "faultinject/fault.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -60,6 +61,7 @@ Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
     auto &registry = telemetry::Registry::instance();
     for (std::size_t i = 0; i < _config.num_shards; ++i) {
         auto shard = std::make_unique<Shard>();
+        shard->index = i;
         const std::string prefix =
             "verifier.shard" + std::to_string(i) + ".";
         shard->messages_metric = &registry.counter(prefix + "messages");
@@ -70,6 +72,25 @@ Verifier::Verifier(KernelModule &kernel, std::shared_ptr<Policy> policy,
         shard->idle_sleeps_metric =
             &registry.counter(prefix + "idle_sleeps");
         _shards.push_back(std::move(shard));
+    }
+
+    if (_config.health_enabled) {
+        _health = std::make_unique<telemetry::HealthMonitor>(
+            _config.num_shards, _config.health,
+            [this](std::size_t i) {
+                telemetry::ShardHealthSample sample;
+                Shard &shard = *_shards[i];
+                sample.heartbeat =
+                    shard.heartbeat.load(std::memory_order_relaxed);
+                sample.queue_depth = shardQueueDepth(i);
+                const std::uint64_t ack =
+                    shard.last_ack_ns.load(std::memory_order_relaxed);
+                if (ack != 0) {
+                    const std::uint64_t now = telemetry::monotonicRawNs();
+                    sample.ack_age_ns = now > ack ? now - ack : 0;
+                }
+                return sample;
+            });
     }
 
     _kernel.setListener(this);
@@ -104,11 +125,18 @@ Verifier::start()
         return;
     for (std::size_t i = 0; i < _shards.size(); ++i)
         _shards[i]->thread = std::thread([this, i] { shardLoop(i); });
+    if (_health)
+        _health->start();
 }
 
 void
 Verifier::stop()
 {
+    // The watchdog goes first: it samples the shards' channels through
+    // the sampler callback, so it must be quiescent before the exit
+    // drain (and any teardown the caller does afterwards).
+    if (_health)
+        _health->stop();
     const bool was_running = _running.exchange(false);
     const bool was_crashed = _crashed.load(std::memory_order_relaxed);
     // Always reap the worker threads: an injected crash clears _running
@@ -152,7 +180,22 @@ Verifier::shardLoop(std::size_t shard_index)
     // idle verifier core stops burning cross-core cache traffic.
     constexpr int kSpinsBeforeSleep = 64;
     int idle_rounds = 0;
+    bool wedged = false;
     while (_running.load(std::memory_order_relaxed)) {
+        // Injected stall: the worker stays joinable (stop() still
+        // works) but never drains again and never bumps its heartbeat,
+        // which is exactly the failure the health watchdog must catch.
+        // Sticky by design — a wedged loop does not recover.
+        if (!wedged &&
+            faultinject::fire(faultinject::Site::VerifierShardStall)) {
+            wedged = true;
+            logWarn("verifier: injected stall wedges shard ",
+                    shard_index);
+        }
+        if (wedged) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+        }
         if (pollShard(shard_index) > 0) {
             idle_rounds = 0;
             continue;
@@ -191,6 +234,9 @@ Verifier::pollShard(std::size_t shard_index)
     // and test threads / the exit-drain path may poll concurrently with
     // the shard's own worker.
     std::lock_guard<std::mutex> drain_guard(shard.drain_mutex);
+    // Liveness signal for the health watchdog: one relaxed increment
+    // per drain pass, whoever drives it (worker thread or poll()).
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
     if (_crashed.load(std::memory_order_relaxed))
         return 0; // a dead verifier verifies nothing
     if (faultinject::fire(faultinject::Site::VerifierSlowPoll))
@@ -348,7 +394,13 @@ Verifier::processBatch(Shard &shard, ChannelEntry &entry,
     // available to the event log on a violation.
     std::uint64_t lag_ns[kMaxPollBatch];
     if (telemetry_on)
-        recordBatchLag(entry, n, lag_ns);
+        recordBatchLag(shard, entry, n, lag_ns);
+
+    telemetry::flight::record(
+        telemetry::flight::Subsystem::Verifier,
+        telemetry::flight::Code::DrainBatch, entry.owner,
+        static_cast<std::int32_t>(shard.index), n,
+        entry.channel->channelId());
 
     {
         // The memo holds the pid's home-shard state lock for the
@@ -400,7 +452,7 @@ Verifier::recordFrameCorruption(ChannelEntry &entry, const char *reason)
 }
 
 void
-Verifier::recordBatchLag(ChannelEntry &entry, std::size_t n,
+Verifier::recordBatchLag(Shard &shard, ChannelEntry &entry, std::size_t n,
                          std::uint64_t *lag_ns)
 {
     telemetry::LagSidecar *sidecar = entry.channel->lagSidecar();
@@ -427,8 +479,15 @@ Verifier::recordBatchLag(ChannelEntry &entry, std::size_t n,
                 "verifier.lag_ns.pid_" + std::to_string(entry.owner));
         entry.pid_lag->record(lag);
         lagHighWater().set(lag); // Gauge keeps the high-water mark
-        if (_config.lag_slo_ns != 0 && lag > _config.lag_slo_ns)
+        if (_config.lag_slo_ns != 0 && lag > _config.lag_slo_ns) {
             lagSloBreaches().inc();
+            telemetry::flight::record(
+                telemetry::flight::Subsystem::Verifier,
+                telemetry::flight::Code::SloBreach, entry.owner,
+                static_cast<std::int32_t>(shard.index), lag,
+                _config.lag_slo_ns);
+            telemetry::flight::requestDump("slo breach");
+        }
         // Close the Perfetto flow opened by Channel::send; "bp":"e"
         // binds the arrow head into the enclosing check_batch slice.
         telemetry::traceFlowEnd("lag", lagFlowId(channel_id, index));
@@ -463,6 +522,12 @@ Verifier::recordViolation(std::size_t home_shard, Pid pid,
         record.reason = reason;
         telemetry::EventLog::instance().append(record);
     }
+    telemetry::flight::record(
+        telemetry::flight::Subsystem::Verifier,
+        telemetry::flight::Code::Violation, pid,
+        static_cast<std::int32_t>(home_shard),
+        static_cast<std::uint64_t>(message.op), message.seq);
+    telemetry::flight::requestDump("violation");
     logDebug("verifier: violation for pid ", pid, ": ", reason);
     if (_config.kill_on_violation)
         _kernel.killProcess(pid, reason);
@@ -582,6 +647,16 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
                 syscallAcksCounter().inc();
                 _shards[memo.home_shard]->syscall_acks_metric->inc();
             }
+            if (_health) {
+                _shards[memo.home_shard]->last_ack_ns.store(
+                    telemetry::monotonicRawNs(),
+                    std::memory_order_relaxed);
+            }
+            telemetry::flight::record(
+                telemetry::flight::Subsystem::Verifier,
+                telemetry::flight::Code::SyscallAck, pid,
+                static_cast<std::int32_t>(memo.home_shard),
+                process.stats.syscall_acks);
             _kernel.syscallResume(pid);
         }
     }
@@ -679,6 +754,21 @@ Verifier::shardMessages(std::size_t shard_index) const
                ? _shards[shard_index]->messages.load(
                      std::memory_order_relaxed)
                : 0;
+}
+
+std::uint64_t
+Verifier::shardQueueDepth(std::size_t shard_index) const
+{
+    if (shard_index >= _shards.size())
+        return 0;
+    Shard &shard = *_shards[shard_index];
+    // Under the state lock so attachChannel cannot resize the list
+    // mid-walk; pending() is a relaxed cursor subtraction per channel.
+    std::lock_guard<std::mutex> guard(shard.state_mutex);
+    std::uint64_t depth = 0;
+    for (const auto &entry : shard.channels)
+        depth += entry->channel->pending();
+    return depth;
 }
 
 } // namespace hq

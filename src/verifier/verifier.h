@@ -43,6 +43,7 @@
 #include "kernel/kernel.h"
 #include "policy/policy.h"
 #include "telemetry/event_log.h"
+#include "telemetry/health.h"
 #include "telemetry/telemetry.h"
 #include "verifier/shard.h"
 
@@ -118,6 +119,17 @@ class Verifier : public ProcessEventListener
          * thread either way, so deterministic tests are unaffected.
          */
         std::size_t num_shards = 0;
+        /**
+         * Run the shard health watchdog (telemetry::HealthMonitor):
+         * every shard bumps a heartbeat per drain pass, the watchdog
+         * samples heartbeats / per-channel queue depth / syscall-ack
+         * age and publishes OK/DEGRADED/STALLED per shard. Off by
+         * default: when disabled no watchdog thread exists and the
+         * heartbeat is the only (relaxed, per-drain-pass) cost.
+         */
+        bool health_enabled = false;
+        /** Watchdog thresholds; used only when health_enabled. */
+        telemetry::HealthConfig health{};
     };
 
     /**
@@ -193,6 +205,27 @@ class Verifier : public ProcessEventListener
     /** Messages processed by one shard (always on; tests). */
     std::uint64_t shardMessages(std::size_t shard_index) const;
 
+    /** Health watchdog (nullptr unless Config::health_enabled). */
+    telemetry::HealthMonitor *healthMonitor() { return _health.get(); }
+
+    /** Current health state of one shard (Ok when no watchdog). */
+    telemetry::HealthState healthState(std::size_t shard_index) const
+    {
+        return _health ? _health->state(shard_index)
+                       : telemetry::HealthState::Ok;
+    }
+
+    /** One deterministic watchdog sample on the caller's thread. */
+    void
+    sampleHealthOnce()
+    {
+        if (_health)
+            _health->sampleOnce();
+    }
+
+    /** Pending (undrained) messages across one shard's channels. */
+    std::uint64_t shardQueueDepth(std::size_t shard_index) const;
+
     /** Effective configuration (poll_batch/num_shards after clamping). */
     const Config &config() const { return _config; }
 
@@ -258,6 +291,15 @@ class Verifier : public ProcessEventListener
     /** One verifier worker: owns its channels and process state. */
     struct Shard
     {
+        /// Shard index (flight records attribute work to it).
+        std::size_t index = 0;
+        /// Drain passes completed; the health watchdog's liveness
+        /// signal. Bumped once per pollShard call (relaxed; off the
+        /// per-message path).
+        std::atomic<std::uint64_t> heartbeat{0};
+        /// monotonicRawNs() of the last syscall ack sent by this shard
+        /// (0 = never). Only stamped while the watchdog exists.
+        std::atomic<std::uint64_t> last_ack_ns{0};
         /**
          * Serializes draining: ring transports are single-consumer, so
          * only one thread may poll a shard at a time (the shard worker
@@ -329,7 +371,7 @@ class Verifier : public ProcessEventListener
     /// Match lag-sidecar envelopes for the batch just drained from
     /// `entry`, filling lag_ns[0..n) (kNoLag when unmatched) and
     /// recording the lag histograms/SLO metrics and flow-end events.
-    void recordBatchLag(ChannelEntry &entry, std::size_t n,
+    void recordBatchLag(Shard &shard, ChannelEntry &entry, std::size_t n,
                         std::uint64_t *lag_ns);
 
     KernelModule &_kernel;
@@ -342,6 +384,10 @@ class Verifier : public ProcessEventListener
     std::atomic<bool> _running{false};
     std::atomic<bool> _crashed{false};
     std::atomic<std::uint64_t> _total_messages{0};
+
+    /// Declared after _shards (samples them via callback); stopped in
+    /// stop() before the channels can go away under it.
+    std::unique_ptr<telemetry::HealthMonitor> _health;
 };
 
 } // namespace hq

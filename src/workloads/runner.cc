@@ -52,6 +52,9 @@ WorkloadRunner::execute(const SpecProfile &profile, CfiDesign design,
     Verifier::Config vconfig;
     vconfig.kill_on_violation = _options.kill_on_violation;
     vconfig.num_shards = _options.num_shards;
+    vconfig.health_enabled = _options.health_enabled;
+    if (_options.health_enabled)
+        vconfig.health.interval = std::chrono::milliseconds(50);
     Verifier verifier(kernel, policy, vconfig);
 
     std::unique_ptr<Channel> channel;

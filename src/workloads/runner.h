@@ -64,6 +64,9 @@ struct RunnerOptions
     int perf_reps = 3;
     /** Verifier shard count (1 = serial; 0 = auto-detect). */
     std::size_t num_shards = 1;
+    /** Run the shard health watchdog during HQ runs (observability
+     *  demos; off for benches so timing is undisturbed). */
+    bool health_enabled = false;
 };
 
 class WorkloadRunner

@@ -32,6 +32,9 @@
 namespace hq {
 namespace {
 
+using telemetry::kStatsBoardMaxCounters;
+using telemetry::kStatsBoardMaxGauges;
+using telemetry::kStatsBoardMaxHistograms;
 using telemetry::LagSidecar;
 using telemetry::Registry;
 using telemetry::StatsBoardReader;
@@ -399,6 +402,107 @@ TEST(StatsBoard, SeqlockNeverYieldsTornSnapshots)
     ASSERT_TRUE(reader.read(snapshot));
     EXPECT_EQ(snapshot.counters[1].value,
               2 * snapshot.counters[0].value);
+}
+
+TEST(StatsBoard, SeqlockTortureFullBoardManyReaders)
+{
+    // Torture leg (runs under tsan via the tier1 label): a writer
+    // churning FULL-capacity snapshots as fast as it can against four
+    // concurrent readers. Every field of every section is derived from
+    // one generation number, so a torn read anywhere in the ~20KB
+    // payload — not just the first two counters — breaks an invariant.
+    const std::string name =
+        "/hq_test_torture." + std::to_string(::getpid());
+    StatsBoardWriter writer(name);
+    ASSERT_TRUE(writer.valid());
+
+    auto fill = [](StatsBoardSnapshot &snapshot, std::uint64_t k) {
+        snapshot.publish_ns = k;
+        snapshot.wall_ms = k;
+        snapshot.n_counters = kStatsBoardMaxCounters;
+        snapshot.n_gauges = kStatsBoardMaxGauges;
+        snapshot.n_histograms = kStatsBoardMaxHistograms;
+        for (std::size_t i = 0; i < kStatsBoardMaxCounters; ++i)
+            snapshot.counters[i].value = k + i;
+        for (std::size_t i = 0; i < kStatsBoardMaxGauges; ++i) {
+            snapshot.gauges[i].value = k + i;
+            snapshot.gauges[i].max = 2 * (k + i);
+        }
+        for (std::size_t i = 0; i < kStatsBoardMaxHistograms; ++i) {
+            snapshot.histograms[i].count = k + i;
+            snapshot.histograms[i].mean =
+                static_cast<double>(k + i);
+        }
+    };
+    // Seed an initial consistent generation so early readers never see
+    // the zero-initialized segment as generation 0 with empty sections.
+    {
+        StatsBoardSnapshot seed;
+        fill(seed, 1);
+        writer.publish(seed);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> torn{0};
+    std::thread publisher([&] {
+        StatsBoardSnapshot snapshot;
+        std::uint64_t k = 1;
+        while (!stop.load(std::memory_order_relaxed)) {
+            fill(snapshot, ++k);
+            writer.publish(snapshot);
+        }
+    });
+
+    constexpr int kReaders = 4;
+    constexpr int kAttempts = 4000;
+    std::vector<std::thread> readers;
+    std::vector<std::uint64_t> reads(kReaders, 0);
+    for (int r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            StatsBoardReader reader(name);
+            if (!reader.valid())
+                return;
+            StatsBoardSnapshot snapshot;
+            std::uint64_t last_k = 0;
+            for (int i = 0; i < kAttempts; ++i) {
+                if (!reader.read(snapshot))
+                    continue; // retry budget exhausted: allowed
+                ++reads[static_cast<std::size_t>(r)];
+                const std::uint64_t k = snapshot.publish_ns;
+                bool ok = snapshot.wall_ms == k && k >= last_k;
+                last_k = k;
+                // Spot-check the far corners of each section — a torn
+                // copy shears between sections, not within a word.
+                ok = ok && snapshot.counters[0].value == k &&
+                     snapshot.counters[kStatsBoardMaxCounters - 1]
+                             .value == k + kStatsBoardMaxCounters - 1;
+                ok = ok && snapshot.gauges[0].max == 2 * k &&
+                     snapshot.gauges[kStatsBoardMaxGauges - 1].value ==
+                         k + kStatsBoardMaxGauges - 1;
+                ok = ok &&
+                     snapshot.histograms[kStatsBoardMaxHistograms - 1]
+                             .count ==
+                         k + kStatsBoardMaxHistograms - 1;
+                if (!ok)
+                    torn.fetch_add(1);
+            }
+        });
+    }
+    for (auto &reader : readers)
+        reader.join();
+    stop.store(true);
+    publisher.join();
+
+    EXPECT_EQ(torn.load(), 0u) << "seqlock leaked a torn snapshot";
+    // With the writer stopped, a final read must succeed and carry the
+    // last published generation's invariants intact.
+    StatsBoardReader reader(name);
+    ASSERT_TRUE(reader.valid());
+    StatsBoardSnapshot snapshot;
+    ASSERT_TRUE(reader.read(snapshot));
+    const std::uint64_t k = snapshot.publish_ns;
+    EXPECT_EQ(snapshot.counters[kStatsBoardMaxCounters - 1].value,
+              k + kStatsBoardMaxCounters - 1);
 }
 
 // ---------------------------------------------------------------------

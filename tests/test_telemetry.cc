@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -30,6 +31,18 @@ using telemetry::Counter;
 using telemetry::Histogram;
 using telemetry::Registry;
 using telemetry::TraceRecorder;
+
+/** Count non-overlapping occurrences of needle in haystack. */
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
 
 /** Scoped enable: telemetry on for the test, restored after. */
 struct TelemetryOn
@@ -281,6 +294,46 @@ TEST(Histogram, PercentilesAreMonotoneAndBracketed)
     EXPECT_NEAR(hist.mean(), 500.5, 1e-9);
 }
 
+TEST(Histogram, GeometricInterpolationKnownAnswers)
+{
+    // Two samples in the [512, 1024) bucket: the p50 rank is the first
+    // sample, frac = 1/2, so the geometric midpoint 512 * sqrt(2) —
+    // NOT the arithmetic midpoint 768 the old linear rule returned.
+    Histogram hist;
+    hist.record(512);
+    hist.record(1023);
+    EXPECT_NEAR(hist.percentile(50), 512.0 * std::sqrt(2.0), 1e-6);
+    // p100 interpolates to the bucket ceiling (1024) and clamps to the
+    // observed max.
+    EXPECT_DOUBLE_EQ(hist.percentile(100), 1023.0);
+
+    // Tail under-reporting regression: 90 fast samples, 10 slow ones in
+    // [4096, 8192). p95 ranks 5th-of-10 into the slow bucket: geometric
+    // 4096 * sqrt(2) ~ 5793; linear interpolation said 6144 here but
+    // under-reports whenever the rank lands low in a wide bucket (p91:
+    // geometric ~4391 vs linear 4506 — the bias the KAT pins is that
+    // the geometric form tracks the exponential bucket shape).
+    Histogram tail;
+    tail.record(100, 90);
+    tail.record(6000, 10);
+    EXPECT_NEAR(tail.percentile(95), 4096.0 * std::sqrt(2.0), 1e-6);
+    // p99 -> rank 99, frac 9/10: raw 4096 * 2^0.9 ~ 7643 overshoots the
+    // bucket's real contents, so the observed-max clamp binds.
+    EXPECT_DOUBLE_EQ(tail.percentile(99), 6000.0);
+    // Every fast-bucket percentile stays clamped to the real extrema.
+    EXPECT_GE(tail.percentile(1), 100.0);
+}
+
+TEST(Histogram, BucketZeroKeepsLinearRamp)
+{
+    // Bucket 0 (zeros) has lo == 0, where the geometric form
+    // degenerates; the linear ramp keeps returning 0 for it.
+    Histogram hist;
+    hist.record(0, 4);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(99), 0.0);
+}
+
 TEST(Histogram, BatchedRecordMatchesRepeatedSingles)
 {
     // One lock, n-message semantics: count, buckets, and moments must be
@@ -348,6 +401,76 @@ TEST(RegistryJson, GaugeTracksHighWaterMark)
     gauge.set(5);
     EXPECT_EQ(gauge.value(), 5u);
     EXPECT_EQ(gauge.max(), 17u);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------
+
+TEST(Prometheus, SeriesMappingExtractsShardAndPidLabels)
+{
+    auto series = telemetry::prometheusSeries("verifier.shard3.messages");
+    EXPECT_EQ(series.name, "hq_verifier_messages");
+    EXPECT_EQ(series.labels, "shard=\"3\"");
+
+    series = telemetry::prometheusSeries("verifier.lag_ns.pid_42");
+    EXPECT_EQ(series.name, "hq_verifier_lag_ns");
+    EXPECT_EQ(series.labels, "pid=\"42\"");
+
+    series = telemetry::prometheusSeries("ipc.ring_occupancy");
+    EXPECT_EQ(series.name, "hq_ipc_ring_occupancy");
+    EXPECT_EQ(series.labels, "");
+
+    // Characters outside the Prometheus name alphabet sanitize to '_'.
+    series = telemetry::prometheusSeries("weird-metric name");
+    EXPECT_EQ(series.name, "hq_weird_metric_name");
+}
+
+TEST(Prometheus, ExpositionGroupsFamiliesAndLabelsShards)
+{
+    Registry::instance().reset();
+    auto &registry = Registry::instance();
+    registry.counter("verifier.shard0.messages").add(10);
+    registry.counter("verifier.shard1.messages").add(32);
+    registry.gauge("verifier.shard0.health").set(2);
+    registry.histogram("verifier.msg_latency_ns").record(512, 4);
+    const std::string text = registry.toPrometheus();
+
+    // Exactly one TYPE header per family, even with two labeled
+    // members; counters gain the _total suffix.
+    EXPECT_EQ(countOccurrences(
+                  text, "# TYPE hq_verifier_messages_total counter"),
+              1u);
+    EXPECT_NE(
+        text.find("hq_verifier_messages_total{shard=\"0\"} 10"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("hq_verifier_messages_total{shard=\"1\"} 32"),
+        std::string::npos);
+
+    // Gauges export value and the _max high-water companion.
+    EXPECT_NE(text.find("hq_verifier_health{shard=\"0\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("hq_verifier_health_max{shard=\"0\"} 2"),
+              std::string::npos);
+
+    // Histograms export as summaries: quantiles ride under the base
+    // family with _sum/_count companions.
+    EXPECT_EQ(
+        countOccurrences(text, "# TYPE hq_verifier_msg_latency_ns summary"),
+        1u);
+    EXPECT_NE(text.find("hq_verifier_msg_latency_ns{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("hq_verifier_msg_latency_ns_count 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("hq_verifier_msg_latency_ns_sum"),
+              std::string::npos);
+
+    // The exposition ends with a newline (textfile-collector rule).
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    Registry::instance().reset();
 }
 
 // ---------------------------------------------------------------------

@@ -12,22 +12,35 @@
  *   hq_stat                  attach to the only running board (or list)
  *   hq_stat --board=NAME     attach to a specific segment (e.g.
  *                            /hq_stats.1234 or hq_stats.1234)
- *   hq_stat --list           list discoverable boards and exit
+ *   hq_stat --list           list discoverable live boards and exit
  *   hq_stat --json           dump one snapshot as JSON and exit
  *   hq_stat --watch[=MS]     top-style live view (default 1000 ms)
+ *   hq_stat --prom[=FILE]    fleet mode: aggregate every live board
+ *                            into one Prometheus text-exposition
+ *                            snapshot (pid label per process), written
+ *                            to FILE (node-exporter textfile collector)
+ *                            or stdout
+ *   hq_stat --prune          unlink orphaned segments whose publishing
+ *                            process is dead, then exit
  */
 
 #include <dirent.h>
+#include <signal.h>
+#include <sys/mman.h>
 
+#include <cerrno>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "telemetry/statsboard.h"
+#include "telemetry/telemetry.h"
 
 using hq::telemetry::BoardCounter;
 using hq::telemetry::BoardGauge;
@@ -59,6 +72,65 @@ discoverBoards()
     }
     ::closedir(dir);
     return boards;
+}
+
+/** Publishing pid encoded in a segment name ("/hq_stats.<pid>"); 0 when
+ *  the suffix is not numeric. */
+std::int32_t
+boardPidFromName(const std::string &name)
+{
+    const std::size_t dot = name.rfind('.');
+    if (dot == std::string::npos || dot + 1 >= name.size())
+        return 0;
+    char *end = nullptr;
+    const long pid = std::strtol(name.c_str() + dot + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || pid <= 0)
+        return 0;
+    return static_cast<std::int32_t>(pid);
+}
+
+/** True when `pid` still exists (EPERM counts: alive but foreign). */
+bool
+pidAlive(std::int32_t pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+/** Live boards only: the publisher encodes its pid in the segment name
+ *  (and in the region header), so a dead owner marks an orphan left by
+ *  a crash — skip it rather than reporting stale metrics. */
+std::vector<std::string>
+discoverLiveBoards()
+{
+    std::vector<std::string> live;
+    for (const std::string &name : discoverBoards()) {
+        if (pidAlive(boardPidFromName(name)))
+            live.push_back(name);
+    }
+    return live;
+}
+
+/** --prune: unlink segments whose publishing process is dead. */
+int
+pruneBoards()
+{
+    int pruned = 0;
+    for (const std::string &name : discoverBoards()) {
+        const std::int32_t pid = boardPidFromName(name);
+        if (pidAlive(pid))
+            continue;
+        if (::shm_unlink(name.c_str()) == 0) {
+            std::printf("pruned %s (pid %d dead)\n", name.c_str(), pid);
+            ++pruned;
+        } else {
+            std::fprintf(stderr, "hq_stat: cannot unlink %s: %s\n",
+                         name.c_str(), std::strerror(errno));
+        }
+    }
+    std::printf("%d orphaned board(s) pruned\n", pruned);
+    return 0;
 }
 
 const BoardCounter *
@@ -216,6 +288,183 @@ printWatch(const StatsBoardSnapshot &snap, const StatsBoardSnapshot &prev,
     std::fflush(stdout);
 }
 
+// --- Fleet Prometheus aggregation ------------------------------------
+
+/** Text-exposition builder: one `# TYPE` line per family, every
+ *  sample grouped under it (the format requires family grouping). */
+struct PromDoc
+{
+    // family -> (type, sample lines); std::map keeps families sorted.
+    // A sample's name may extend its family (summary `_sum`/`_count`
+    // ride under the base family's single `# TYPE` line).
+    std::map<std::string, std::pair<const char *, std::vector<std::string>>>
+        families;
+
+    void
+    add(const std::string &family, const char *type,
+        const std::string &name, const std::string &labels,
+        const std::string &value)
+    {
+        auto &entry = families[family];
+        entry.first = type;
+        std::string line = name;
+        if (!labels.empty())
+            line += "{" + labels + "}";
+        line += " " + value;
+        entry.second.push_back(std::move(line));
+    }
+
+    std::string
+    str() const
+    {
+        std::string out;
+        for (const auto &[family, entry] : families) {
+            out += "# TYPE " + family + " " +
+                   std::string(entry.first) + "\n";
+            for (const std::string &line : entry.second)
+                out += line + "\n";
+        }
+        return out;
+    }
+};
+
+std::string
+promU64(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    return buf;
+}
+
+std::string
+promF64(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    return buf;
+}
+
+std::string
+joinLabels(const std::string &base, const std::string &extra)
+{
+    if (base.empty())
+        return extra;
+    if (extra.empty())
+        return base;
+    return base + "," + extra;
+}
+
+/** Fold one board's snapshot into the fleet document, labeling every
+ *  series with the publishing pid so per-process streams stay
+ *  distinguishable after aggregation. */
+void
+promAddBoard(PromDoc &doc, const StatsBoardSnapshot &snap,
+             std::int32_t pid)
+{
+    const std::string pid_label = "pid=\"" + std::to_string(pid) + "\"";
+    for (std::uint32_t i = 0; i < snap.n_counters; ++i) {
+        const auto series =
+            hq::telemetry::prometheusSeries(snap.counters[i].name);
+        const std::string family = series.name + "_total";
+        doc.add(family, "counter", family,
+                joinLabels(series.labels, pid_label),
+                promU64(snap.counters[i].value));
+    }
+    for (std::uint32_t i = 0; i < snap.n_gauges; ++i) {
+        const auto series =
+            hq::telemetry::prometheusSeries(snap.gauges[i].name);
+        const std::string labels =
+            joinLabels(series.labels, pid_label);
+        doc.add(series.name, "gauge", series.name, labels,
+                promU64(snap.gauges[i].value));
+        doc.add(series.name + "_max", "gauge", series.name + "_max",
+                labels, promU64(snap.gauges[i].max));
+    }
+    for (std::uint32_t i = 0; i < snap.n_histograms; ++i) {
+        const BoardHistogram &h = snap.histograms[i];
+        const auto series = hq::telemetry::prometheusSeries(h.name);
+        const std::string labels =
+            joinLabels(series.labels, pid_label);
+        if (h.count != 0) {
+            doc.add(series.name, "summary", series.name,
+                    joinLabels(labels, "quantile=\"0.5\""),
+                    promF64(h.p50));
+            doc.add(series.name, "summary", series.name,
+                    joinLabels(labels, "quantile=\"0.9\""),
+                    promF64(h.p90));
+            doc.add(series.name, "summary", series.name,
+                    joinLabels(labels, "quantile=\"0.99\""),
+                    promF64(h.p99));
+        }
+        doc.add(series.name, "summary", series.name + "_sum", labels,
+                promF64(h.mean * static_cast<double>(h.count)));
+        doc.add(series.name, "summary", series.name + "_count", labels,
+                promU64(h.count));
+    }
+}
+
+/**
+ * Fleet mode: one aggregated snapshot across every live board (or just
+ * `board` when given). Written atomically enough for the textfile
+ * collector: to a temp file renamed over FILE, or to stdout.
+ */
+int
+promExport(const std::string &board, const std::string &file)
+{
+    std::vector<std::string> boards;
+    if (!board.empty())
+        boards.push_back(board);
+    else
+        boards = discoverLiveBoards();
+    if (boards.empty()) {
+        std::fprintf(stderr,
+                     "hq_stat: no live statsboard segments in /dev/shm "
+                     "(run the target with --statsboard)\n");
+        return 1;
+    }
+
+    PromDoc doc;
+    int attached = 0;
+    for (const std::string &name : boards) {
+        StatsBoardReader reader(name);
+        StatsBoardSnapshot snap;
+        if (!reader.valid() || !reader.read(snap)) {
+            std::fprintf(stderr, "hq_stat: skipping %s (no snapshot)\n",
+                         name.c_str());
+            continue;
+        }
+        promAddBoard(doc, snap, reader.pid());
+        ++attached;
+    }
+    if (attached == 0) {
+        std::fprintf(stderr, "hq_stat: no board yielded a snapshot\n");
+        return 1;
+    }
+    doc.add("hq_statsboards", "gauge", "hq_statsboards", "",
+            promU64(static_cast<std::uint64_t>(attached)));
+    const std::string text = doc.str();
+
+    if (file.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    const std::string tmp = file + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "hq_stat: cannot write %s: %s\n",
+                     tmp.c_str(), std::strerror(errno));
+        return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    if (std::rename(tmp.c_str(), file.c_str()) != 0) {
+        std::fprintf(stderr, "hq_stat: cannot rename %s -> %s: %s\n",
+                     tmp.c_str(), file.c_str(), std::strerror(errno));
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -225,6 +474,9 @@ main(int argc, char **argv)
     bool json = false;
     bool list = false;
     bool watch = false;
+    bool prom = false;
+    bool prune = false;
+    std::string prom_file;
     long watch_ms = 1000;
 
     for (int i = 1; i < argc; ++i) {
@@ -237,6 +489,13 @@ main(int argc, char **argv)
             json = true;
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--prune") {
+            prune = true;
+        } else if (arg == "--prom") {
+            prom = true;
+        } else if (arg.rfind("--prom=", 0) == 0) {
+            prom = true;
+            prom_file = arg.substr(7);
         } else if (arg == "--watch") {
             watch = true;
         } else if (arg.rfind("--watch=", 0) == 0) {
@@ -247,12 +506,18 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: hq_stat [--board=NAME] [--list] "
-                         "[--json] [--watch[=MS]]\n");
+                         "[--json] [--watch[=MS]] [--prom[=FILE]] "
+                         "[--prune]\n");
             return 2;
         }
     }
 
-    const std::vector<std::string> boards = discoverBoards();
+    if (prune)
+        return pruneBoards();
+    if (prom)
+        return promExport(board, prom_file);
+
+    const std::vector<std::string> boards = discoverLiveBoards();
     if (list) {
         for (const std::string &name : boards)
             std::printf("%s\n", name.c_str());
