@@ -74,6 +74,36 @@ shardParityMismatches(const std::vector<RipeAttack> &suite, CfiDesign design)
     return mismatches;
 }
 
+/**
+ * Re-run every attack with speculation window K and count verdicts that
+ * differ from the strict run. The confirmation syscall is a speculation
+ * barrier, so bounded speculation must never change a verdict.
+ */
+int
+gatingParityMismatches(const std::vector<RipeAttack> &suite,
+                       CfiDesign design, std::size_t window)
+{
+    int mismatches = 0;
+    for (const RipeAttack &attack : suite) {
+        const RipeResult strict =
+            runRipeAttack(attack, design, 1, WireFormat::V1, 0);
+        const RipeResult spec =
+            runRipeAttack(attack, design, 1, WireFormat::V1, window);
+        if (strict.succeeded != spec.succeeded ||
+            strict.detected != spec.detected) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "gating parity MISMATCH: %s / %s "
+                         "(strict %d/%d, spec-%zu %d/%d)\n",
+                         designInfo(design).name.c_str(),
+                         attack.name().c_str(), strict.succeeded,
+                         strict.detected, window, spec.succeeded,
+                         spec.detected);
+        }
+    }
+    return mismatches;
+}
+
 } // namespace
 } // namespace hq
 
@@ -119,6 +149,18 @@ main(int argc, char **argv)
     int mismatches = 0;
     for (CfiDesign design : {CfiDesign::HqSfeStk, CfiDesign::HqRetPtr}) {
         const int m = shardParityMismatches(suite, design);
+        std::printf("%-16s %s (%d mismatches)\n",
+                    designInfo(design).name.c_str(),
+                    m == 0 ? "OK" : "FAIL", m);
+        mismatches += m;
+    }
+
+    // Gating parity: bounded speculation (window 4) must not change any
+    // verdict either — the confirmation syscall is a speculation
+    // barrier, so detected violations still block it.
+    std::printf("\n=== Gating parity (strict vs spec-4, per attack) ===\n");
+    for (CfiDesign design : {CfiDesign::HqSfeStk, CfiDesign::HqRetPtr}) {
+        const int m = gatingParityMismatches(suite, design, 4);
         std::printf("%-16s %s (%d mismatches)\n",
                     designInfo(design).name.c_str(),
                     m == 0 ? "OK" : "FAIL", m);

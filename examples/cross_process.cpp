@@ -27,6 +27,9 @@
  *  - --health: run the shard health watchdog (per-shard OK/DEGRADED/
  *    STALLED state published to the statsboard; pairs with
  *    `hq_stat --prom` for the fleet exporter).
+ *  - --spec-window=K / --proactive: kernel speculation window and
+ *    verifier proactive pre-arm for chaos legs that sweep the async
+ *    ack path (DESIGN.md §13) under injected faults.
  */
 
 #include <sys/wait.h>
@@ -104,7 +107,8 @@ runOneShot(XprocChannel &channel)
 int
 runStreaming(XprocChannel &channel, long duration_secs,
              std::size_t num_shards, WireFormat format,
-             bool health_enabled)
+             bool health_enabled, std::size_t spec_window,
+             bool proactive_acks)
 {
     if (format != WireFormat::V1 && !channel.negotiateFormat(format)) {
         std::fprintf(stderr, "channel refused wire format %s\n",
@@ -168,11 +172,14 @@ runStreaming(XprocChannel &channel, long duration_secs,
 
     // ----- verifier process ------------------------------------------
     const Pid pid = static_cast<Pid>(child);
-    KernelModule kernel;
+    KernelModule::Config kconfig;
+    kconfig.speculation_window = spec_window;
+    KernelModule kernel(kconfig);
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config config;
     config.kill_on_violation = false; // count, don't kill (§5 style)
     config.num_shards = num_shards;
+    config.proactive_acks = proactive_acks;
     if (health_enabled) {
         // Snappy watchdog so a short --duration run still publishes
         // per-shard health/heartbeat series into the statsboard.
@@ -265,6 +272,8 @@ main(int argc, char **argv)
     std::size_t num_shards = 1; // single child; >1 exercises routing
     WireFormat format = WireFormat::V1;
     bool health_enabled = false;
+    std::size_t spec_window = 0;
+    bool proactive_acks = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
@@ -277,6 +286,11 @@ main(int argc, char **argv)
             format = WireFormat::V1;
         else if (std::strcmp(argv[i], "--health") == 0)
             health_enabled = true;
+        else if (std::strncmp(argv[i], "--spec-window=", 14) == 0)
+            spec_window = static_cast<std::size_t>(
+                std::strtoul(argv[i] + 14, nullptr, 10));
+        else if (std::strcmp(argv[i], "--proactive") == 0)
+            proactive_acks = true;
     }
     if (faultinject::armed() && duration_secs <= 0) {
         // The one-shot demo spins until it sees the Syscall message,
@@ -302,6 +316,7 @@ main(int argc, char **argv)
     }
     return duration_secs > 0
                ? runStreaming(channel, duration_secs, num_shards, format,
-                              health_enabled)
+                              health_enabled, spec_window,
+                              proactive_acks)
                : runOneShot(channel);
 }

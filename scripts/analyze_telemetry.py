@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Analyze HerQules telemetry dumps and structured event logs.
 
-Four modes:
+Five modes:
 
   report FILE...
       Human-readable verification-lag / latency report for one or more
@@ -14,6 +14,14 @@ Four modes:
       (schema hq-ring-bench-summary/1). Exits non-zero when the raw run
       failed or the speedup falls below --min-speedup (default 0 = no
       gate; CI passes 1.5).
+
+  latency RAW.json [-o BENCH_latency.json] [--min-p99-speedup X]
+      Post-process a `nginx_sim --latency-sweep=RAW.json` result:
+      compute the strict/mode p99 syscall-pause speedups and write
+      BENCH_latency.json (schema hq-latency-bench-summary/1). Exits
+      non-zero when the raw sweep failed or either the proactive or
+      spec speedup falls below --min-p99-speedup (default 0 = no gate;
+      CI passes 1.2 on the default job).
 
   schema FILE...
       Strict JSONL validation for event logs and flight-recorder dumps.
@@ -177,6 +185,62 @@ def cmd_ring(args):
     return 0
 
 
+def cmd_latency(args):
+    raw = load_dump(args.raw)
+    if raw.get("schema") != "hq-latency-bench/1":
+        sys.exit(f"{args.raw}: not an hq-latency-bench/1 result")
+    modes = raw.get("modes", {})
+    strict = modes.get("strict", {})
+    strict_p99 = strict.get("p99_ns")
+
+    def speedup(mode):
+        p99 = modes.get(mode, {}).get("p99_ns")
+        if not strict_p99 or not p99:
+            return None
+        return strict_p99 / p99
+
+    gated = {mode: speedup(mode) for mode in ("proactive", "spec")}
+    out = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(args.raw)), "BENCH_latency.json")
+    summary = {
+        "schema": "hq-latency-bench-summary/1",
+        "scale": raw.get("scale"),
+        "num_shards": raw.get("num_shards"),
+        "spec_window": raw.get("spec_window"),
+        "strict_p50_ns": strict.get("p50_ns"),
+        "strict_p99_ns": strict_p99,
+        "modes": {
+            mode: {
+                "p50_ns": stats.get("p50_ns"),
+                "p99_ns": stats.get("p99_ns"),
+                "pause_samples": stats.get("pause_samples"),
+                "spec_syscalls": stats.get("spec_syscalls"),
+                "pre_arm_hits": stats.get("pre_arm_hits"),
+                "p99_speedup_vs_strict": speedup(mode),
+            }
+            for mode, stats in sorted(modes.items())
+        },
+        "raw_ok": bool(raw.get("ok")),
+    }
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    shown = ", ".join(
+        f"{mode} {ratio and round(ratio, 3)}x"
+        for mode, ratio in gated.items())
+    print(f"wrote {out}: strict p99 {strict_p99 and fmt_ns(strict_p99)}, "
+          f"p99 speedups: {shown}")
+
+    if not raw.get("ok"):
+        sys.exit("latency sweep reported a failed run")
+    if args.min_p99_speedup:
+        for mode, ratio in gated.items():
+            if ratio is None or ratio < args.min_p99_speedup:
+                sys.exit(f"{mode} p99 speedup {ratio} below gate "
+                         f"{args.min_p99_speedup}")
+    return 0
+
+
 # JSONL schemas, keyed by record type. Event records share one fixed
 # key order (telemetry/event_log.cc); flight lines have their own
 # (telemetry/flight_recorder.cc, shared by the signal-safe path).
@@ -184,7 +248,7 @@ EVENT_KEYS = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "op",
               "arg0", "arg1", "seq", "lag_ns", "reason"]
 EVENT_KINDS = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
                "corrupt_msg", "verifier_restart", "silent_accept",
-               "health_change", "flight_dump"}
+               "health_change", "flight_dump", "spec_kill"}
 FLIGHT_HEADER_KEYS = ["type", "trigger", "ts_wall_ms", "pid", "records"]
 FLIGHT_RECORD_KEYS = ["type", "ts_ns", "thread", "seq", "subsystem",
                       "code", "pid", "shard", "arg0", "arg1"]
@@ -284,6 +348,15 @@ def main():
     ring.add_argument("--min-speedup", type=float, default=0.0,
                       help="fail when v2/v1 speedup is below this")
     ring.set_defaults(func=cmd_ring)
+
+    latency = sub.add_parser(
+        "latency", help="summarize an nginx_sim --latency-sweep run")
+    latency.add_argument("raw", help="raw hq-latency-bench/1 JSON result")
+    latency.add_argument("-o", "--output", default=None)
+    latency.add_argument("--min-p99-speedup", type=float, default=0.0,
+                         help="fail when the proactive or spec p99 "
+                              "speedup vs strict is below this")
+    latency.set_defaults(func=cmd_latency)
 
     schema = sub.add_parser("schema",
                             help="strict JSONL schema validation")

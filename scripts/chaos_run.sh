@@ -56,21 +56,34 @@ SPECS_V2=(
     "seed=7,ring_drop:0.005,frame_corrupt:0.002,transport_delay:0.01"
 )
 
+# Async-ack legs: the same lossy/latency classes with the speculation
+# window open and proactive pre-arm on, so faults land while acks are
+# batched and the gate is pre-armed. Detection must be unchanged —
+# speculation bounds WHEN enforcement lands, never WHETHER.
+SPECS_GATING=(
+    "seed=7,ring_drop:0.01"
+    "seed=7,ring_corrupt:0.005"
+    "seed=7,transport_delay:0.02"
+    "seed=7,ring_drop:0.005,ring_corrupt:0.002,transport_delay:0.01"
+)
+GATING_FLAGS=(--spec-window=4 --proactive)
+
 failures=0
 run=0
-total_runs=$(( ${#SPECS[@]} + ${#SPECS_V2[@]} ))
+total_runs=$(( ${#SPECS[@]} + ${#SPECS_V2[@]} + ${#SPECS_GATING[@]} ))
 run_spec() {
     local format="$1" spec="$2"
+    shift 2
     run=$((run + 1))
     local log="$OUT_DIR/chaos_${run}.events.jsonl"
     local flight="$OUT_DIR/chaos_${run}.flight.jsonl"
-    echo "=== chaos run $run/$total_runs ($format): --fault-spec=$spec"
+    echo "=== chaos run $run/$total_runs ($format$( (($#)) && echo " $*" )): --fault-spec=$spec"
     # Health watchdog + flight recorder ride every run: a chaos sweep is
     # exactly when a wedged shard or fault storm should leave evidence,
     # and the per-run flight dumps become CI artifacts.
     if ! "$BIN" --duration="$DURATION" --format="$format" \
             --fault-spec="$spec" --event-log="$log" \
-            --health --flight-recorder="$flight"; then
+            --health --flight-recorder="$flight" "$@"; then
         echo "chaos_run: FAILED (exit) format=$format spec=$spec" >&2
         failures=$((failures + 1))
         return
@@ -88,6 +101,9 @@ for spec in "${SPECS[@]}"; do
 done
 for spec in "${SPECS_V2[@]}"; do
     run_spec v2 "$spec"
+done
+for spec in "${SPECS_GATING[@]}"; do
+    run_spec v1 "$spec" "${GATING_FLAGS[@]}"
 done
 
 # Schema-check whatever the sweep wrote — event logs (fixed key order,
@@ -109,4 +125,4 @@ if [[ $failures -gt 0 || $schema_rc -ne 0 ]]; then
     echo "chaos_run: $failures failing spec(s), schema rc=$schema_rc" >&2
     exit 1
 fi
-echo "chaos_run: all $total_runs specs (v1+v2) detected or safely denied"
+echo "chaos_run: all $total_runs specs (v1+v2+spec-K) detected or safely denied"

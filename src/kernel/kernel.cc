@@ -1,5 +1,6 @@
 #include "kernel/kernel.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/log.h"
@@ -17,12 +18,22 @@ namespace {
 HQ_TELEMETRY_HANDLE(syscallPauseHist, Histogram, "kernel.syscall_pause_ns")
 HQ_TELEMETRY_HANDLE(syscallsCounter, Counter, "kernel.syscalls")
 HQ_TELEMETRY_HANDLE(epochTimeoutsCounter, Counter, "kernel.epoch_timeouts")
+// High-water speculation depth (Gauge::set keeps the max): how far
+// ahead of verification any process has retired syscalls.
+HQ_TELEMETRY_HANDLE(specDepthGauge, Gauge, "kernel.spec_depth")
 
 } // namespace
 
 KernelModule::KernelModule() : KernelModule(Config{}) {}
 
-KernelModule::KernelModule(Config config) : _config(config) {}
+KernelModule::KernelModule(Config config) : _config(config)
+{
+    // Clamp at config time, like Verifier::Config::poll_batch: an
+    // unbounded window would void the bounded-detection-delay argument
+    // (and the soundness tests sweep exactly [0, kMaxSpeculationWindow]).
+    _config.speculation_window = std::min<std::size_t>(
+        _config.speculation_window, kMaxSpeculationWindow);
+}
 
 KernelModule::Bucket &
 KernelModule::bucketFor(Pid pid)
@@ -154,6 +165,24 @@ KernelModule::exitProcess(Pid pid)
 }
 
 bool
+KernelModule::isSpeculationBarrier(std::uint64_t sysno)
+{
+    switch (sysno) {
+      case 56:  // clone
+      case 57:  // fork
+      case 58:  // vfork
+      case 59:  // execve
+      case 60:  // exit
+      case 62:  // kill
+      case 231: // exit_group
+      case 322: // execveat
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
 KernelModule::isReadOnlySyscall(std::uint64_t sysno)
 {
     switch (sysno) {
@@ -179,6 +208,14 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
     if (_config.elide_readonly_syscalls && isReadOnlySyscall(sysno))
         return Status::ok(); // no pause needed: no external side effects
 
+    // Kick the verifier before gating: the System-Call message is
+    // already in the ring, and waking its consumer now (rather than at
+    // the consumer's next poll tick) is what keeps the ack pipeline
+    // ahead of the gate. No kernel locks are held yet.
+    if (ProcessEventListener *listener =
+            _listener.load(std::memory_order_acquire))
+        listener->onSyscallGate(pid);
+
     Bucket &bucket = bucketFor(pid);
     std::unique_lock<std::mutex> lock(bucket.mutex);
     std::shared_ptr<ProcessContext> context = find(bucket, pid);
@@ -203,12 +240,29 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
                                  : context->kill_reason);
     }
 
-    if (spin_fast_path && !context->sync_ok && !context->killed) {
+    // This syscall's 1-based gate index, and the ack credit that must
+    // have arrived before it may retire. Strict gating (window 0)
+    // demands the ack for this very syscall's System-Call message; a
+    // window of K lets the process run up to K syscalls ahead.
+    // Barrier syscalls (execve/fork/exit-class) are always strict, and
+    // the proactive pre-arm never applies to them either: their
+    // effects cannot be contained by a delayed kill.
+    const std::uint64_t entry = context->sc_gated + 1;
+    const bool barrier = isSpeculationBarrier(sysno);
+    const std::uint64_t window =
+        barrier ? 0 : _config.speculation_window;
+    const std::uint64_t required = entry > window ? entry - window : 0;
+    const auto admissible = [&context, required, barrier] {
+        return context->sc_acked >= required ||
+               (!barrier && context->pre_armed);
+    };
+
+    if (spin_fast_path && !admissible() && !context->killed) {
         // Fast path: spin briefly — the verifier normally consumes the
         // pipelined System-Call message within this window (§2.2).
         const auto spin_deadline =
             std::chrono::steady_clock::now() + _config.spin;
-        while (!context->sync_ok && !context->killed &&
+        while (!admissible() && !context->killed &&
                std::chrono::steady_clock::now() < spin_deadline) {
             lock.unlock();
             std::this_thread::yield();
@@ -216,7 +270,7 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
         }
     }
 
-    if (!context->sync_ok && !context->killed) {
+    if (!admissible() && !context->killed) {
         ++context->stats.waits;
         auto epoch = _config.epoch;
         if (faultinject::fire(faultinject::Site::KernelEpochDelay)) {
@@ -232,7 +286,9 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
         }
         const bool signalled = context->cv.wait_for(
             lock, epoch,
-            [&context] { return context->sync_ok || context->killed; });
+            [&admissible, &context] {
+                return admissible() || context->killed;
+            });
         if (!signalled) {
             // No synchronization message within the epoch: treat as a
             // policy violation and terminate the monitored program.
@@ -273,29 +329,104 @@ KernelModule::syscallEnter(Pid pid, std::uint64_t sysno,
                                  : context->kill_reason);
     }
 
-    // Reset the synchronization variable upon resumption (§3.3).
-    context->sync_ok = false;
+    // Retire the gate entry (the strict contract's "reset the
+    // synchronization variable upon resumption", §3.3). A pre-arm is
+    // consumed by the admission it enabled; an admission already
+    // covered by acks leaves it standing for the next syscall — the
+    // credit is one admission total either way (the documented
+    // speculation_window=1 equivalence), and kill/violation still
+    // closes the gate ahead of it.
+    context->sc_gated = entry;
+    const bool via_pre_arm = context->sc_acked < required;
+    if (via_pre_arm) {
+        context->pre_armed = false;
+        ++context->stats.pre_arm_hits;
+    }
+    if (context->sc_acked < entry) {
+        // Retiring ahead of this syscall's own ack: bounded speculation
+        // (or a proactive push). Track the depth — it is exactly the
+        // detection delay a late violation would have enjoyed.
+        const std::uint64_t depth = entry - context->sc_acked;
+        ++context->stats.spec_syscalls;
+        context->stats.max_spec_depth =
+            std::max(context->stats.max_spec_depth, depth);
+        if (telemetry::enabled())
+            specDepthGauge().set(depth);
+    }
+
+    // The gate is open and the syscall proceeds into the (simulated)
+    // kernel. A real trap is a scheduling point, so model it: on a
+    // loaded or single-CPU host this is where the verifier thread gets
+    // cycles to drain the pipelined backlog concurrently with the
+    // syscall body, rather than only when the gate blocks. The pause
+    // histogram above covers gate-blocked time only — the trap itself
+    // costs the same in every gating mode.
+    pause_timer.stop();
+    lock.unlock();
+    std::this_thread::yield();
     return Status::ok();
+}
+
+void
+KernelModule::applyResumeLocked(Bucket &bucket, const SyscallAck &ack)
+{
+    if (faultinject::fire(faultinject::Site::KernelLostNotify)) {
+        // The verifier's resume never reaches the waiter: the paused
+        // syscall must eventually hit the epoch timeout (fail closed).
+        logDebug("kernel: injected lost notification for pid ", ack.pid);
+        return;
+    }
+    std::shared_ptr<ProcessContext> context = find(bucket, ack.pid);
+    if (!context)
+        return;
+    // Clamp the credit to one pipelined pre-ack beyond what has
+    // retired: the verifier acks at most one System-Call message per
+    // gate entry, so anything past sc_gated + 1 is a forged flood
+    // trying to bank admissions.
+    context->sc_acked = std::min<std::uint64_t>(
+        context->sc_acked + ack.count, context->sc_gated + 1);
+    telemetry::flight::record(telemetry::flight::Subsystem::Kernel,
+                              telemetry::flight::Code::SyscallResume,
+                              ack.pid, -1, ack.count, context->sc_acked);
+    context->cv.notify_all();
 }
 
 void
 KernelModule::syscallResume(Pid pid)
 {
-    if (faultinject::fire(faultinject::Site::KernelLostNotify)) {
-        // The verifier's resume never reaches the waiter: the paused
-        // syscall must eventually hit the epoch timeout (fail closed).
-        logDebug("kernel: injected lost notification for pid ", pid);
-        return;
+    const SyscallAck ack{pid, 1};
+    syscallResumeBatch(&ack, 1);
+}
+
+void
+KernelModule::syscallResumeBatch(const SyscallAck *acks, std::size_t n)
+{
+    // Group by process-table bucket: one lock acquisition per touched
+    // bucket per flush, however many pids/messages the batch carries.
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+        std::size_t i = 0;
+        while (i < n && shardIndexFor(acks[i].pid, kBucketCount) != b)
+            ++i;
+        if (i == n)
+            continue;
+        Bucket &bucket = _buckets[b];
+        std::lock_guard<std::mutex> guard(bucket.mutex);
+        for (; i < n; ++i) {
+            if (shardIndexFor(acks[i].pid, kBucketCount) == b)
+                applyResumeLocked(bucket, acks[i]);
+        }
     }
+}
+
+void
+KernelModule::preArmProcess(Pid pid)
+{
     Bucket &bucket = bucketFor(pid);
     std::lock_guard<std::mutex> guard(bucket.mutex);
     std::shared_ptr<ProcessContext> context = find(bucket, pid);
-    if (!context)
+    if (!context || context->killed)
         return;
-    context->sync_ok = true;
-    telemetry::flight::record(telemetry::flight::Subsystem::Kernel,
-                              telemetry::flight::Code::SyscallResume, pid,
-                              -1);
+    context->pre_armed = true;
     context->cv.notify_all();
 }
 
@@ -309,9 +440,25 @@ KernelModule::killProcess(Pid pid, const std::string &reason)
         return;
     context->killed = true;
     context->kill_reason = reason;
+    // A kill landing while the process ran ahead of verification is
+    // the bounded detection delay made visible: audit the in-window
+    // depth so operators can see how far the program got.
+    const std::uint64_t depth = context->sc_gated > context->sc_acked
+                                    ? context->sc_gated - context->sc_acked
+                                    : 0;
+    if (depth > 0 && telemetry::EventLog::instance().active()) {
+        telemetry::EventRecord record;
+        record.type = telemetry::EventType::SpecKill;
+        record.pid = pid;
+        record.op = "Syscall";
+        record.arg0 = depth;
+        record.arg1 = _config.speculation_window;
+        record.reason = reason;
+        telemetry::EventLog::instance().append(record);
+    }
     telemetry::flight::record(telemetry::flight::Subsystem::Kernel,
                               telemetry::flight::Code::ProcessKilled, pid,
-                              -1);
+                              -1, depth);
     context->cv.notify_all();
 }
 
@@ -330,6 +477,17 @@ KernelModule::isKilled(Pid pid) const
     std::lock_guard<std::mutex> guard(bucket.mutex);
     std::shared_ptr<ProcessContext> context = find(bucket, pid);
     return context && context->killed;
+}
+
+std::uint64_t
+KernelModule::speculationDepth(Pid pid) const
+{
+    const Bucket &bucket = bucketFor(pid);
+    std::lock_guard<std::mutex> guard(bucket.mutex);
+    std::shared_ptr<ProcessContext> context = find(bucket, pid);
+    return context && context->sc_gated > context->sc_acked
+               ? context->sc_gated - context->sc_acked
+               : 0;
 }
 
 KernelProcessStats

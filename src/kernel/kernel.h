@@ -3,12 +3,16 @@
  * Simulated HerQules kernel module (paper §3.3).
  *
  * The real artifact is a Linux module that intercepts system calls via
- * kprobes/tracepoints and keeps a hash table of per-process contexts,
- * each holding a boolean synchronization variable: set by the verifier
- * upon receiving the process's System-Call message, reset by the module
- * when the system call resumes. If no synchronization message arrives
- * within a configurable epoch, the kernel treats it as a policy
- * violation and terminates the process.
+ * kprobes/tracepoints and keeps a hash table of per-process contexts.
+ * The paper's context holds a boolean synchronization variable: set by
+ * the verifier upon receiving the process's System-Call message, reset
+ * by the module when the system call resumes. This module generalizes
+ * it to a pair of counters (syscalls retired / acks credited) so the
+ * same gate expresses the strict boolean contract (speculation window
+ * 0), the proactive pre-armed fast path, and bounded speculation up to
+ * Config::speculation_window syscalls ahead of verification. If no
+ * synchronization message arrives within a configurable epoch, the
+ * kernel treats it as a policy violation and terminates the process.
  *
  * Here the interception point is explicit: the VM's syscall handler
  * calls syscallEnter(), which blocks with the same semantics. The
@@ -48,6 +52,20 @@ class ProcessEventListener
 
     /** Process terminated; its policy context is destroyed. */
     virtual void onProcessExited(Pid pid) = 0;
+
+    /**
+     * A monitored process trapped into a gated syscall. Fired from the
+     * entering thread before the gate check, with no kernel locks
+     * held: the listener's chance to drain that pid's backlog while
+     * the syscall spins/blocks/yields instead of at its next poll
+     * tick. Default no-op; implementations must only touch their own
+     * wakeup machinery (the caller is on the monitored hot path).
+     */
+    virtual void
+    onSyscallGate(Pid pid)
+    {
+        (void)pid;
+    }
 };
 
 /** Per-process kernel statistics (exposed for tests and harnesses). */
@@ -56,11 +74,17 @@ struct KernelProcessStats
     std::uint64_t syscalls = 0;       //!< intercepted system calls
     std::uint64_t waits = 0;          //!< syscalls that had to block
     std::uint64_t epoch_timeouts = 0; //!< syncs that timed out
+    std::uint64_t spec_syscalls = 0;  //!< retired ahead of their own ack
+    std::uint64_t pre_arm_hits = 0;   //!< admissions via a proactive push
+    std::uint64_t max_spec_depth = 0; //!< peak unacked retirement depth
 };
 
 class KernelModule
 {
   public:
+    /** Upper bound on Config::speculation_window. */
+    static constexpr std::size_t kMaxSpeculationWindow = 64;
+
     /** Configuration of bounded asynchronous validation. */
     struct Config
     {
@@ -81,10 +105,42 @@ class KernelModule
          * compromised program cannot use them to attack the system.
          */
         bool elide_readonly_syscalls = false;
+        /**
+         * Bounded speculation: how many system calls a process may
+         * retire ahead of the verifier's acknowledgements. 0 (the
+         * default) is the paper's strict gate — every syscall blocks
+         * until its own System-Call message is acked. K > 0 trades
+         * detection delay for tail latency: the process runs up to K
+         * syscalls ahead, and a violation landing inside the window
+         * still kills it before syscall K+1 retires (the soundness
+         * bound; DESIGN.md §13). Clamped to [0, kMaxSpeculationWindow]
+         * at construction, like Verifier::Config::poll_batch.
+         * Speculation-barrier syscalls (isSpeculationBarrier) always
+         * enforce the strict contract regardless of this setting.
+         */
+        std::size_t speculation_window = 0;
+    };
+
+    /** One coalesced acknowledgement (syscallResumeBatch element). */
+    struct SyscallAck
+    {
+        Pid pid = 0;
+        std::uint32_t count = 1; //!< System-Call messages acked
     };
 
     /** True for syscalls with no externally-visible side effects. */
     static bool isReadOnlySyscall(std::uint64_t sysno);
+
+    /**
+     * True for syscalls whose effects cannot be contained by a
+     * delayed kill: process-image and control transfers (execve,
+     * fork/clone, exit, kill). The gate always enforces the strict
+     * ack-before-retire contract for these, regardless of
+     * Config::speculation_window — a speculated execve would hand
+     * control to a possibly-compromised image the verifier has not
+     * cleared yet, voiding the bounded-detection-delay argument.
+     */
+    static bool isSpeculationBarrier(std::uint64_t sysno);
 
     KernelModule();
     explicit KernelModule(Config config);
@@ -139,8 +195,27 @@ class KernelModule
 
     // --- Privileged verifier channel ---------------------------------
 
-    /** Verifier saw the System-Call message: set the sync variable. */
+    /** Verifier saw the System-Call message: credit one ack. */
     void syscallResume(Pid pid);
+
+    /**
+     * Coalesced epoch acknowledgements: credit every entry's acks,
+     * grouped by process-table bucket so a flush costs one lock
+     * acquisition per touched bucket instead of one per message.
+     * Per-pid ack credit is clamped to (retired syscalls + 1), so a
+     * forged flood of System-Call messages can never bank more than
+     * the one legitimate pipelined pre-ack.
+     */
+    void syscallResumeBatch(const SyscallAck *acks, std::size_t n);
+
+    /**
+     * Proactive ack push: the verifier fully drained the process's
+     * channel with no violation, so the *next* non-barrier
+     * syscallEnter() is admitted without blocking even though its own
+     * System-Call message has not been verified yet. Grants exactly
+     * one admission (consumed on use); re-armed on each full drain.
+     */
+    void preArmProcess(Pid pid);
 
     /** Verifier detected a policy violation: terminate the process. */
     void killProcess(Pid pid, const std::string &reason);
@@ -150,13 +225,23 @@ class KernelModule
     bool isEnabled(Pid pid) const;
     bool isKilled(Pid pid) const;
     KernelProcessStats statsFor(Pid pid) const;
+    /** Syscalls retired ahead of their acks right now (0 = in sync). */
+    std::uint64_t speculationDepth(Pid pid) const;
     const Config &config() const { return _config; }
 
   private:
     /** Kernel context for one HerQules-enabled process. */
     struct ProcessContext
     {
-        bool sync_ok = false; //!< set by verifier, reset on resumption
+        /// Gate entries retired (1-based count of admitted syscalls).
+        std::uint64_t sc_gated = 0;
+        /// Verifier acks credited. Clamped to sc_gated + 1 on every
+        /// resume: the pipelined design legitimately acks one syscall
+        /// before its gate entry, but nothing beyond that may bank.
+        std::uint64_t sc_acked = 0;
+        /// Proactive push: one non-blocking admission of a non-barrier
+        /// syscall; consumed on every admission.
+        bool pre_armed = false;
         bool killed = false;
         std::string kill_reason;
         KernelProcessStats stats;
@@ -191,6 +276,9 @@ class KernelModule
     /** Lookup within one bucket; the caller holds bucket.mutex. */
     static std::shared_ptr<ProcessContext> find(const Bucket &bucket,
                                                 Pid pid);
+
+    /** Credit one coalesced ack; the caller holds bucket.mutex. */
+    void applyResumeLocked(Bucket &bucket, const SyscallAck &ack);
 
     Config _config;
     /// Atomic: lifecycle paths read it after dropping the bucket lock,

@@ -35,6 +35,8 @@ eventTypeName(EventType type)
         return "health_change";
       case EventType::FlightDump:
         return "flight_dump";
+      case EventType::SpecKill:
+        return "spec_kill";
     }
     return "unknown";
 }

@@ -44,6 +44,8 @@ enum class EventType {
     SilentAccept, //!< injected fault class with no detector fired (audit)
     HealthChange, //!< shard health state transition (watchdog)
     FlightDump,   //!< flight-recorder dump written (reason = trigger)
+    SpecKill,     //!< kill landed inside the speculation window
+                  //!< (arg0 = unacked depth, arg1 = configured window)
 };
 
 const char *eventTypeName(EventType type);

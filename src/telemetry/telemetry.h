@@ -312,6 +312,15 @@ class ScopedTimer
             _histogram->record(nowNs() - _start);
     }
 
+    /** Record now instead of at scope exit (and only once). */
+    void
+    stop()
+    {
+        if (_histogram)
+            _histogram->record(nowNs() - _start);
+        _histogram = nullptr;
+    }
+
   private:
     Histogram *_histogram;
     std::uint64_t _start;

@@ -27,6 +27,13 @@ HQ_TELEMETRY_HANDLE(idleSleepsCounter, Counter, "verifier.idle_sleeps")
 HQ_TELEMETRY_HANDLE(lagHist, Histogram, "verifier.lag_ns")
 HQ_TELEMETRY_HANDLE(lagSloBreaches, Counter, "verifier.lag_slo_breaches")
 HQ_TELEMETRY_HANDLE(lagHighWater, Gauge, "verifier.lag_high_water_ns")
+// Async-ack pipeline: total acks delivered through coalesced
+// syscallResumeBatch flushes, queue-to-flush latency per ack message
+// (breaches feed the same lag SLO counter as verification lag), and
+// proactive pre-arm pushes sent.
+HQ_TELEMETRY_HANDLE(acksBatchedCounter, Counter, "verifier.acks_batched")
+HQ_TELEMETRY_HANDLE(ackLatencyHist, Histogram, "verifier.ack_latency_ns")
+HQ_TELEMETRY_HANDLE(preArmsCounter, Counter, "verifier.proactive_prearms")
 
 std::size_t
 resolveNumShards(std::size_t requested)
@@ -181,6 +188,9 @@ Verifier::shardLoop(std::size_t shard_index)
     constexpr int kSpinsBeforeSleep = 64;
     int idle_rounds = 0;
     bool wedged = false;
+    Shard &shard = *_shards[shard_index];
+    std::uint64_t kicks_seen =
+        shard.gate_kicks.load(std::memory_order_relaxed);
     while (_running.load(std::memory_order_relaxed)) {
         // Injected stall: the worker stays joinable (stop() still
         // works) but never drains again and never bumps its heartbeat,
@@ -207,8 +217,19 @@ Verifier::shardLoop(std::size_t shard_index)
                 idleSleepsCounter().inc();
                 _shards[shard_index]->idle_sleeps_metric->inc();
             }
-            std::this_thread::sleep_for(std::chrono::microseconds(10));
+            // Kick-aware nap: a gate kick (one of this shard's pids
+            // trapped into a syscall) ends it immediately, so the
+            // drain that produces the ack/pre-arm starts while the
+            // syscall spins or yields instead of a nap period later.
+            std::unique_lock<std::mutex> lk(shard.wake_mutex);
+            shard.wake_cv.wait_for(
+                lk, std::chrono::microseconds(10), [&] {
+                    return shard.gate_kicks.load(
+                               std::memory_order_acquire) != kicks_seen ||
+                           !_running.load(std::memory_order_relaxed);
+                });
         }
+        kicks_seen = shard.gate_kicks.load(std::memory_order_acquire);
     }
 }
 
@@ -269,7 +290,25 @@ Verifier::pollShard(std::size_t shard_index)
             processed += n;
             if (_crashed.load(std::memory_order_relaxed))
                 break;
+            // Proactive push: this round drained the channel to empty
+            // (a short batch means the drain hit the producer cursor),
+            // so its owner is fully verified as of the drain point —
+            // pre-arm the kernel gate at flush so the owner's next
+            // syscall skips the poll-then-ack round trip. Checking the
+            // drain count rather than pending() matters: a saturating
+            // producer keeps pending() nonzero at inspection time even
+            // though every observed message was validated, and the
+            // credit means exactly that. Device-stamped channels carry
+            // interleaved pids and never pre-arm.
+            if (_config.proactive_acks && !entry.device_stamped &&
+                (n < batch_max || entry.channel->pending() == 0))
+                shard.pending_prearms.push_back(entry.owner);
         }
+        // Coalesced resume: one syscallResumeBatch per round covers
+        // every pid drained above, bounding added ack latency to the
+        // round that produced the ack. A crashed verifier drops the
+        // queue unsent (flushAcks checks).
+        flushAcks(shard);
         if (_crashed.load(std::memory_order_relaxed))
             break;
     }
@@ -419,7 +458,7 @@ Verifier::processBatch(Shard &shard, ChannelEntry &entry,
             }
         }
         for (std::size_t i = 0; i < n; ++i) {
-            handleMessage(entry, batch[i], memo,
+            handleMessage(shard, entry, batch[i], memo,
                           telemetry_on ? lag_ns[i] : kNoLag,
                           crc_trusted);
             if (_crashed.load(std::memory_order_relaxed))
@@ -559,9 +598,9 @@ Verifier::lookupProcess(Pid pid, PidMemo &memo)
 }
 
 void
-Verifier::handleMessage(ChannelEntry &entry, const Message &message,
-                        PidMemo &memo, std::uint64_t lag_ns,
-                        bool crc_trusted)
+Verifier::handleMessage(Shard &shard, ChannelEntry &entry,
+                        const Message &message, PidMemo &memo,
+                        std::uint64_t lag_ns, bool crc_trusted)
 {
     if (_crashed.load(std::memory_order_relaxed))
         return;
@@ -639,27 +678,111 @@ Verifier::handleMessage(ChannelEntry &entry, const Message &message,
 
     if (message.op == Opcode::Syscall) {
         // All earlier messages on this (in-order) channel have been
-        // processed; notify the kernel to resume the system call,
+        // processed; queue an epoch acknowledgement for the kernel,
         // unless the process was violated and kill-on-violation is set.
+        // Acks coalesce on the polling shard and reach the kernel in
+        // one syscallResumeBatch per drain round (flushAcks).
         if (!(process.violated && _config.kill_on_violation)) {
             ++process.stats.syscall_acks;
             if (telemetry::enabled()) {
                 syscallAcksCounter().inc();
                 _shards[memo.home_shard]->syscall_acks_metric->inc();
             }
-            if (_health) {
-                _shards[memo.home_shard]->last_ack_ns.store(
-                    telemetry::monotonicRawNs(),
-                    std::memory_order_relaxed);
-            }
             telemetry::flight::record(
                 telemetry::flight::Subsystem::Verifier,
                 telemetry::flight::Code::SyscallAck, pid,
                 static_cast<std::int32_t>(memo.home_shard),
                 process.stats.syscall_acks);
-            _kernel.syscallResume(pid);
+            queueAck(shard, pid);
         }
     }
+}
+
+void
+Verifier::queueAck(Shard &shard, Pid pid)
+{
+    // Channels are per-process, so a drained batch's acks are almost
+    // always one pid: merge adjacent entries into a single count.
+    if (!shard.pending_acks.empty() &&
+        shard.pending_acks.back().pid == pid) {
+        ++shard.pending_acks.back().count;
+    } else {
+        shard.pending_acks.push_back(KernelModule::SyscallAck{pid, 1});
+    }
+    if (telemetry::enabled())
+        shard.pending_ack_ns.push_back(telemetry::monotonicRawNs());
+}
+
+void
+Verifier::flushAcks(Shard &shard)
+{
+    if (shard.pending_acks.empty() && shard.pending_prearms.empty())
+        return;
+    if (_crashed.load(std::memory_order_relaxed)) {
+        // Death before the flush: the acks must never arrive, so the
+        // monitored processes hit the epoch timeout (fail closed).
+        shard.pending_acks.clear();
+        shard.pending_ack_ns.clear();
+        shard.pending_prearms.clear();
+        return;
+    }
+    if (!shard.pending_acks.empty()) {
+        _kernel.syscallResumeBatch(shard.pending_acks.data(),
+                                   shard.pending_acks.size());
+        if (_health) {
+            shard.last_ack_ns.store(telemetry::monotonicRawNs(),
+                                    std::memory_order_relaxed);
+        }
+        if (telemetry::enabled()) {
+            std::uint64_t total = 0;
+            for (const KernelModule::SyscallAck &ack : shard.pending_acks)
+                total += ack.count;
+            acksBatchedCounter().add(total);
+            // Queue-to-flush latency per ack message; a breach feeds
+            // the same SLO counter as end-to-end verification lag
+            // (both delay the monitored process's resume).
+            const std::uint64_t now = telemetry::monotonicRawNs();
+            for (const std::uint64_t queued : shard.pending_ack_ns) {
+                const std::uint64_t lat = now > queued ? now - queued : 0;
+                ackLatencyHist().record(lat);
+                if (_config.lag_slo_ns != 0 && lat > _config.lag_slo_ns) {
+                    lagSloBreaches().inc();
+                    telemetry::flight::record(
+                        telemetry::flight::Subsystem::Verifier,
+                        telemetry::flight::Code::SloBreach, 0,
+                        static_cast<std::int32_t>(shard.index), lat,
+                        _config.lag_slo_ns);
+                }
+            }
+        }
+        shard.pending_acks.clear();
+        shard.pending_ack_ns.clear();
+    }
+    for (std::size_t i = 0; i < shard.pending_prearms.size(); ++i) {
+        const Pid pid = shard.pending_prearms[i];
+        // A pid can appear once per channel per round; push once.
+        bool duplicate = false;
+        for (std::size_t j = 0; j < i && !duplicate; ++j)
+            duplicate = shard.pending_prearms[j] == pid;
+        if (duplicate)
+            continue;
+        // Re-check under the home shard's state lock: a violation or
+        // exit recorded after the drain must veto the push.
+        bool eligible = false;
+        {
+            Shard &home = *_shards[_registry.shardOf(pid)];
+            std::lock_guard<std::mutex> guard(home.state_mutex);
+            auto it = home.processes.find(pid);
+            eligible = it != home.processes.end() &&
+                       !it->second.violated && !it->second.exited;
+        }
+        if (!eligible)
+            continue;
+        _kernel.preArmProcess(pid);
+        if (telemetry::enabled())
+            preArmsCounter().inc();
+    }
+    shard.pending_prearms.clear();
 }
 
 void
@@ -671,6 +794,22 @@ Verifier::onProcessEnabled(Pid pid)
     Shard &shard = *_shards[home];
     std::lock_guard<std::mutex> guard(shard.state_mutex);
     shard.processes[pid] = std::move(entry);
+}
+
+void
+Verifier::onSyscallGate(Pid pid)
+{
+    // Called on the monitored thread's syscall hot path with no kernel
+    // locks held: bump the home shard's kick counter and wake its
+    // worker. Nothing else — the drain itself stays on the worker.
+    Shard &shard = *_shards[_registry.shardOf(pid)];
+    shard.gate_kicks.fetch_add(1, std::memory_order_release);
+    {
+        // Empty critical section pairs with the worker's predicate
+        // check under wake_mutex, closing the missed-wakeup window.
+        std::lock_guard<std::mutex> guard(shard.wake_mutex);
+    }
+    shard.wake_cv.notify_one();
 }
 
 void

@@ -30,6 +30,7 @@
 #define HQ_VERIFIER_VERIFIER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -130,6 +131,18 @@ class Verifier : public ProcessEventListener
         bool health_enabled = false;
         /** Watchdog thresholds; used only when health_enabled. */
         telemetry::HealthConfig health{};
+        /**
+         * Proactive ack push: whenever a drain round leaves a
+         * process's channel empty with no violation, pre-arm its
+         * kernel gate (KernelModule::preArmProcess) so the next
+         * syscallEnter() returns without blocking instead of paying
+         * the poll-then-ack round trip that dominates p99. Off by
+         * default — a pre-armed admission runs one syscall ahead of
+         * verification (the same contract as speculation_window = 1),
+         * which strict-mode callers must not get implicitly. Never
+         * applied to device-stamped channels (they interleave pids).
+         */
+        bool proactive_acks = false;
     };
 
     /**
@@ -181,6 +194,7 @@ class Verifier : public ProcessEventListener
     void onProcessEnabled(Pid pid) override;
     void onProcessForked(Pid parent, Pid child) override;
     void onProcessExited(Pid pid) override;
+    void onSyscallGate(Pid pid) override;
 
     // --- Introspection -------------------------------------------------
     bool hasViolation(Pid pid) const;
@@ -316,6 +330,26 @@ class Verifier : public ProcessEventListener
         std::unordered_map<Pid, ProcessEntry> processes;
         /// Scratch channel-pointer snapshot (touched under drain_mutex).
         std::vector<ChannelEntry *> drain_list;
+        /// Syscall acks coalesced during the current drain round,
+        /// flushed to the kernel in one syscallResumeBatch call per
+        /// round (touched only under drain_mutex). Adjacent acks for
+        /// the same pid merge into one entry's count.
+        std::vector<KernelModule::SyscallAck> pending_acks;
+        /// monotonicRawNs() at which each pending ack message was
+        /// queued — one stamp per message, not per merged entry —
+        /// feeding the verifier.ack_latency_ns histogram at flush.
+        /// Only populated while telemetry is enabled.
+        std::vector<std::uint64_t> pending_ack_ns;
+        /// Owners whose channels this round drained empty; pre-armed
+        /// at flush when proactive_acks is on (touched under
+        /// drain_mutex).
+        std::vector<Pid> pending_prearms;
+        /// Gate-kick wakeup: onSyscallGate bumps gate_kicks and
+        /// notifies, so an idle worker's nap ends the moment one of
+        /// its pids traps into a syscall instead of at the nap timer.
+        std::mutex wake_mutex;
+        std::condition_variable wake_cv;
+        std::atomic<std::uint64_t> gate_kicks{0};
         std::thread thread;
         /// Always-on per-shard message count (tests, cheap roll-ups).
         std::atomic<std::uint64_t> messages{0};
@@ -360,9 +394,18 @@ class Verifier : public ProcessEventListener
     /** CorruptMsg violation for a frame that failed decode, attributed
      *  to the channel's registered owner (fail closed, no payload). */
     void recordFrameCorruption(ChannelEntry &entry, const char *reason);
-    void handleMessage(ChannelEntry &entry, const Message &message,
-                       PidMemo &memo, std::uint64_t lag_ns,
-                       bool crc_trusted);
+    void handleMessage(Shard &shard, ChannelEntry &entry,
+                       const Message &message, PidMemo &memo,
+                       std::uint64_t lag_ns, bool crc_trusted);
+    /** Queue one syscall ack on the polling shard (drain_mutex held). */
+    void queueAck(Shard &shard, Pid pid);
+    /**
+     * Send the round's coalesced acks in one syscallResumeBatch call
+     * and apply any pending proactive pre-arms. A crashed verifier
+     * drops everything unsent: its death must look like silence to the
+     * kernel (fail closed, epoch timeout).
+     */
+    void flushAcks(Shard &shard);
     void recordViolation(std::size_t home_shard, Pid pid,
                          ProcessEntry &process, const std::string &reason,
                          const Message &message,

@@ -442,7 +442,8 @@ buildRipeModule(const RipeAttack &attack)
 
 RipeResult
 runRipeAttack(const RipeAttack &attack, CfiDesign design,
-              std::size_t num_shards, WireFormat format)
+              std::size_t num_shards, WireFormat format,
+              std::size_t speculation_window)
 {
     RipeBuilder builder(attack);
     ir::Module module = builder.build();
@@ -455,6 +456,10 @@ runRipeAttack(const RipeAttack &attack, CfiDesign design,
 
     KernelModule::Config kconfig;
     kconfig.epoch = std::chrono::milliseconds(200);
+    // Gating parity: the verdict must not depend on the window. The
+    // confirmation syscall is execve-like (a speculation barrier), so
+    // even under spec-K a detected violation blocks it.
+    kconfig.speculation_window = speculation_window;
     KernelModule kernel(kconfig);
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config vconfig;

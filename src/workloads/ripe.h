@@ -96,10 +96,15 @@ struct RipeResult
  *        identical for any value (shard-parity tests exercise 1 vs 4).
  * @param format wire format negotiated on the message channel; verdicts
  *        must be identical for v1 and v2 (wire-parity tests).
+ * @param speculation_window kernel gate speculation window; verdicts
+ *        must be identical at strict (0) and any K: the confirmation
+ *        syscall (execve-like) is a speculation barrier, so a detected
+ *        violation always blocks it (gating-parity tests sweep 0 vs 4).
  */
 RipeResult runRipeAttack(const RipeAttack &attack, CfiDesign design,
                          std::size_t num_shards = 1,
-                         WireFormat format = WireFormat::V1);
+                         WireFormat format = WireFormat::V1,
+                         std::size_t speculation_window = 0);
 
 } // namespace hq
 

@@ -47,12 +47,16 @@ WorkloadRunner::execute(const SpecProfile &profile, CfiDesign design,
     }
 
     // Fresh harness per run.
-    KernelModule kernel;
+    KernelModule::Config kconfig;
+    kconfig.speculation_window = _options.speculation_window;
+    kconfig.elide_readonly_syscalls = _options.elide_readonly;
+    KernelModule kernel(kconfig);
     auto policy = std::make_shared<PointerIntegrityPolicy>();
     Verifier::Config vconfig;
     vconfig.kill_on_violation = _options.kill_on_violation;
     vconfig.num_shards = _options.num_shards;
     vconfig.health_enabled = _options.health_enabled;
+    vconfig.proactive_acks = _options.proactive_acks;
     if (_options.health_enabled)
         vconfig.health.interval = std::chrono::milliseconds(50);
     Verifier verifier(kernel, policy, vconfig);
@@ -101,7 +105,12 @@ WorkloadRunner::execute(const SpecProfile &profile, CfiDesign design,
     outcome.seconds = seconds;
     outcome.instructions = result.instructions;
     outcome.checksum = result.return_value;
-    outcome.syscalls = kernel.statsFor(1).syscalls;
+    const KernelProcessStats kstats = kernel.statsFor(1);
+    outcome.syscalls = kstats.syscalls;
+    outcome.syscall_waits = kstats.waits;
+    outcome.spec_syscalls = kstats.spec_syscalls;
+    outcome.pre_arm_hits = kstats.pre_arm_hits;
+    outcome.max_spec_depth = kstats.max_spec_depth;
     if (runtime_ptr) {
         outcome.messages_sent = runtime_ptr->messagesSent();
         const VerifierProcessStats vstats = verifier.statsFor(1);

@@ -38,6 +38,10 @@ struct BenchmarkOutcome
     std::uint64_t verifier_messages = 0;
     std::uint64_t verifier_max_entries = 0;
     std::uint64_t syscalls = 0;
+    std::uint64_t syscall_waits = 0;   //!< syscalls that had to block
+    std::uint64_t spec_syscalls = 0;   //!< retired ahead of their ack
+    std::uint64_t pre_arm_hits = 0;    //!< proactive fast-path passes
+    std::uint64_t max_spec_depth = 0;  //!< peak speculation depth
     std::uint64_t checksum = 0;
 };
 
@@ -67,6 +71,13 @@ struct RunnerOptions
     /** Run the shard health watchdog during HQ runs (observability
      *  demos; off for benches so timing is undisturbed). */
     bool health_enabled = false;
+    /** Kernel gate speculation window (0 = strict; clamped by the
+     *  kernel to KernelModule::kMaxSpeculationWindow). */
+    std::size_t speculation_window = 0;
+    /** Verifier pre-arms the gate after each full channel drain. */
+    bool proactive_acks = false;
+    /** Elide the gate for read-only syscalls (§5.3.3 improvement). */
+    bool elide_readonly = false;
 };
 
 class WorkloadRunner

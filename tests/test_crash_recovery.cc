@@ -250,5 +250,94 @@ TEST_F(CrashRecoveryTest, KillOnVerifierExitKillsProcessesAfterCrash)
     EXPECT_EQ(status.code(), StatusCode::PolicyViolation);
 }
 
+// ---------------------------------------------------------------------
+// Crash recovery under bounded speculation (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+TEST_F(CrashRecoveryTest, CrashDropsPendingBatchedAcksFailClosed)
+{
+    // Acks are queued per drained message and flushed once per poll
+    // round. A crash inside the round must drop the whole pending batch
+    // unsent: an ack credited by a half-processed round would resume a
+    // syscall nobody fully validated.
+    KernelModule kernel(fastEpochConfig());
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    Verifier verifier(kernel, policy, checkingConfig());
+    kernel.enableProcess(kPid);
+    ShmChannel channel(1 << 10);
+    verifier.attachChannel(&channel, kPid);
+
+    // The Syscall message is handled (ack queued), then the crash fires
+    // on the next message — before the round's flush.
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/1, /*max_fires=*/1);
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    ASSERT_TRUE(
+        channel.send(Message(Opcode::PointerDefine, 0x100, 0)).isOk());
+    verifier.poll();
+    ASSERT_TRUE(verifier.crashed());
+
+    const Status status =
+        kernel.syscallEnter(kPid, 1, /*spin_fast_path=*/false);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::PolicyViolation);
+    EXPECT_EQ(kernel.statsFor(kPid).epoch_timeouts, 1u);
+}
+
+TEST_F(CrashRecoveryTest, SpeculationDepthSurvivesCrashAndReplay)
+{
+    // In-flight speculation lives in the kernel's per-process context,
+    // so a verifier death must neither erase it (the retired-but-unacked
+    // syscalls happened) nor let it grow past the window while nobody is
+    // acking. A restarted verifier's acks drain the carried-over depth.
+    KernelModule::Config kconfig = fastEpochConfig();
+    kconfig.speculation_window = 4;
+    KernelModule kernel(kconfig);
+    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    ShmChannel channel(1 << 10);
+
+    auto crashed = std::make_unique<Verifier>(kernel, policy,
+                                              checkingConfig());
+    kernel.enableProcess(kPid);
+    crashed->attachChannel(&channel, kPid);
+
+    // Two syscalls retire ahead of their acks, then the verifier dies
+    // before validating anything.
+    ASSERT_TRUE(kernel.syscallEnter(kPid, 1).isOk());
+    ASSERT_TRUE(kernel.syscallEnter(kPid, 1).isOk());
+    ASSERT_EQ(kernel.speculationDepth(kPid), 2u);
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/0, /*max_fires=*/1);
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    crashed->poll();
+    ASSERT_TRUE(crashed->crashed());
+    fi::disarmAll();
+
+    // The crash changed nothing about what already retired.
+    EXPECT_EQ(kernel.speculationDepth(kPid), 2u);
+
+    // Restart and replay: the carried-over depth is visible to the new
+    // verifier via the kernel, and fresh sync messages drain it.
+    Verifier restarted(kernel, policy, checkingConfig());
+    EXPECT_EQ(kernel.replayProcessesTo(&restarted), 1u);
+    restarted.attachChannel(&channel, kPid);
+    EXPECT_EQ(kernel.speculationDepth(kPid), 2u)
+        << "replay must not invent or drop acks";
+
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 1, 0)).isOk());
+    restarted.poll();
+    EXPECT_EQ(kernel.speculationDepth(kPid), 0u);
+
+    // Fully caught up: even a barrier syscall (strict catch-up) passes
+    // once its own sync message is acked.
+    ASSERT_TRUE(channel.send(Message(Opcode::Syscall, 59, 0)).isOk());
+    restarted.poll();
+    EXPECT_TRUE(kernel.syscallEnter(kPid, 59).isOk());
+
+    crashed.reset();
+    kernel.exitProcess(kPid);
+}
+
 } // namespace
 } // namespace hq

@@ -252,5 +252,31 @@ TEST(RipeWireFormat, V2VerdictsMatchV1PerAttack)
     }
 }
 
+// Bounded speculation must not change any policy verdict: the
+// confirmation syscall is execve-like, and execve is a speculation
+// barrier, so a detected violation always blocks confirmation even when
+// earlier syscalls retired ahead of their acks. Run the attack corpus
+// strict (window 0) and at window 4 and require identical per-attack
+// succeed/detect/exit outcomes.
+TEST(RipeGating, SpecWindowVerdictsMatchStrictPerAttack)
+{
+    const std::vector<RipeAttack> suite = ripeAttackSuite(1);
+    const CfiDesign designs[] = {CfiDesign::HqRetPtr, CfiDesign::HqSfeStk};
+    for (CfiDesign design : designs) {
+        for (const RipeAttack &a : suite) {
+            const RipeResult strict =
+                runRipeAttack(a, design, 1, WireFormat::V1, 0);
+            const RipeResult spec =
+                runRipeAttack(a, design, 1, WireFormat::V1, 4);
+            EXPECT_EQ(strict.succeeded, spec.succeeded)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(strict.detected, spec.detected)
+                << designInfo(design).name << " / " << a.name();
+            EXPECT_EQ(strict.exit, spec.exit)
+                << designInfo(design).name << " / " << a.name();
+        }
+    }
+}
+
 } // namespace
 } // namespace hq
