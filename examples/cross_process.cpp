@@ -30,6 +30,10 @@
  *  - --spec-window=K / --proactive: kernel speculation window and
  *    verifier proactive pre-arm for chaos legs that sweep the async
  *    ack path (DESIGN.md §13) under injected faults.
+ *  - --ifc: compose the taint/IFC label policy with pointer integrity
+ *    (docs/policies.md) and mix live label traffic into every burst,
+ *    ending in a data-only leak. Chaos legs use this to prove dropped
+ *    or corrupted label ops fail closed like pointer ops do.
  */
 
 #include <sys/wait.h>
@@ -44,7 +48,9 @@
 #include "faultinject/fault.h"
 #include "ipc/xproc_ring.h"
 #include "kernel/kernel.h"
+#include "policy/ifc.h"
 #include "policy/pointer_integrity.h"
+#include "policy/policy_module.h"
 #include "telemetry/telemetry.h"
 #include "verifier/verifier.h"
 
@@ -108,7 +114,7 @@ int
 runStreaming(XprocChannel &channel, long duration_secs,
              std::size_t num_shards, WireFormat format,
              bool health_enabled, std::size_t spec_window,
-             bool proactive_acks)
+             bool proactive_acks, bool ifc_enabled)
 {
     if (format != WireFormat::V1 && !channel.negotiateFormat(format)) {
         std::fprintf(stderr, "channel refused wire format %s\n",
@@ -145,6 +151,20 @@ runStreaming(XprocChannel &channel, long duration_secs,
         Message burst[64];
         for (auto &message : burst)
             message = Message(Opcode::PointerCheck, 0x1000, 0xAAAA);
+        if (ifc_enabled) {
+            // Live label traffic rides every burst so faults land while
+            // the IFC table is hot: rebind a secret source, propagate it
+            // one hop, and sink-check a facet the flow does NOT carry
+            // (violation-free in a fault-free run). Drops here are
+            // caught by the sequence check, corruption by the CRCs.
+            for (std::size_t i = 0; i < 64; i += 4) {
+                burst[i + 1] = Message(Opcode::LabelDef, 0x2000,
+                                       label::kSecret);
+                burst[i + 2] = Message(Opcode::LabelJoin, 0x2000, 0x2008);
+                burst[i + 3] = Message(Opcode::LabelCheck, 0x2008,
+                                       label::kTainted);
+            }
+        }
         while (send_ok && std::chrono::steady_clock::now() < deadline) {
             // sendBatch exercises the real batched transmit: a loop of
             // stamped sends on v1, whole frames on a v2 channel.
@@ -156,6 +176,14 @@ runStreaming(XprocChannel &channel, long duration_secs,
         // chaos a send may fail closed instead; that is a legitimate
         // outcome the parent distinguishes via the exit code.
         if (send_ok) {
+            if (ifc_enabled) {
+                // The data-only leak: the secret flows to an address
+                // whose sink forbids it. One guaranteed IFC violation.
+                channel.send(
+                    Message(Opcode::LabelJoin, 0x2000, 0x4000));
+                channel.send(Message(Opcode::LabelCheck, 0x4000,
+                                     label::kSecret));
+            }
             channel.send(Message(Opcode::PointerCheck, 0x1000, 0xBADBAD));
             channel.send(Message(Opcode::Syscall, 59));
         }
@@ -175,7 +203,15 @@ runStreaming(XprocChannel &channel, long duration_secs,
     KernelModule::Config kconfig;
     kconfig.speculation_window = spec_window;
     KernelModule kernel(kconfig);
-    auto policy = std::make_shared<PointerIntegrityPolicy>();
+    std::shared_ptr<Policy> policy;
+    if (ifc_enabled) {
+        auto multi = std::make_shared<MultiPolicy>();
+        multi->addPolicy(std::make_unique<PointerIntegrityPolicy>());
+        multi->addPolicy(std::make_unique<IfcPolicy>());
+        policy = multi;
+    } else {
+        policy = std::make_shared<PointerIntegrityPolicy>();
+    }
     Verifier::Config config;
     config.kill_on_violation = false; // count, don't kill (§5 style)
     config.num_shards = num_shards;
@@ -226,12 +262,15 @@ runStreaming(XprocChannel &channel, long duration_secs,
                 static_cast<unsigned long long>(stats.syscall_acks));
 
     if (!chaos) {
+        // --ifc adds exactly one label-flow violation (the secret
+        // reaching the forbidding sink) on top of the pointer one.
+        const std::uint64_t expected = ifc_enabled ? 2 : 1;
         std::printf("  -> %s\n",
-                    stats.violations == 1
+                    stats.violations == expected
                         ? "corruption detected across a real process "
                           "boundary"
                         : "UNEXPECTED RESULT");
-        return stats.violations == 1 ? 0 : 1;
+        return stats.violations == expected ? 0 : 1;
     }
 
     // ----- chaos verdict ---------------------------------------------
@@ -274,6 +313,7 @@ main(int argc, char **argv)
     bool health_enabled = false;
     std::size_t spec_window = 0;
     bool proactive_acks = false;
+    bool ifc_enabled = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--duration=", 11) == 0)
             duration_secs = std::strtol(argv[i] + 11, nullptr, 10);
@@ -291,6 +331,14 @@ main(int argc, char **argv)
                 std::strtoul(argv[i] + 14, nullptr, 10));
         else if (std::strcmp(argv[i], "--proactive") == 0)
             proactive_acks = true;
+        else if (std::strcmp(argv[i], "--ifc") == 0)
+            ifc_enabled = true;
+    }
+    if (ifc_enabled && duration_secs <= 0) {
+        // Label traffic only flows in the streaming pipeline; the
+        // one-shot demo's manual context is CFI-only.
+        std::fprintf(stderr, "--ifc: using streaming mode (2s)\n");
+        duration_secs = 2;
     }
     if (faultinject::armed() && duration_secs <= 0) {
         // The one-shot demo spins until it sees the Syscall message,
@@ -317,6 +365,6 @@ main(int argc, char **argv)
     return duration_secs > 0
                ? runStreaming(channel, duration_secs, num_shards, format,
                               health_enabled, spec_window,
-                              proactive_acks)
+                              proactive_acks, ifc_enabled)
                : runOneShot(channel);
 }

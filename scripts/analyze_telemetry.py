@@ -244,8 +244,8 @@ def cmd_latency(args):
 # JSONL schemas, keyed by record type. Event records share one fixed
 # key order (telemetry/event_log.cc); flight lines have their own
 # (telemetry/flight_recorder.cc, shared by the signal-safe path).
-EVENT_KEYS = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "op",
-              "arg0", "arg1", "seq", "lag_ns", "reason"]
+EVENT_KEYS = ["type", "ts_wall_ms", "ts_ns", "pid", "shard", "policy",
+              "op", "arg0", "arg1", "seq", "lag_ns", "reason"]
 EVENT_KINDS = {"violation", "seq_gap", "epoch_timeout", "ring_drop",
                "corrupt_msg", "verifier_restart", "silent_accept",
                "health_change", "flight_dump", "spec_kill"}

@@ -68,9 +68,23 @@ SPECS_GATING=(
 )
 GATING_FLAGS=(--spec-window=4 --proactive)
 
+# IFC legs: the same fault classes with the taint/IFC label policy
+# composed in and live label traffic in every burst (--ifc). A dropped
+# LabelDef/LabelJoin is a lost security fact, so these legs hold label
+# ops to the identical fail-closed bar as pointer ops: ring_drop must
+# surface as sequence gaps (v1, labels live) and frame_corrupt as a
+# rejected frame (v2) — zero silent accepts either way.
+SPECS_IFC_V1=(
+    "seed=7,ring_drop:0.01"
+)
+SPECS_IFC_V2=(
+    "seed=7,frame_corrupt:0.005"
+)
+
 failures=0
 run=0
-total_runs=$(( ${#SPECS[@]} + ${#SPECS_V2[@]} + ${#SPECS_GATING[@]} ))
+total_runs=$(( ${#SPECS[@]} + ${#SPECS_V2[@]} + ${#SPECS_GATING[@]} \
+               + ${#SPECS_IFC_V1[@]} + ${#SPECS_IFC_V2[@]} ))
 run_spec() {
     local format="$1" spec="$2"
     shift 2
@@ -105,6 +119,12 @@ done
 for spec in "${SPECS_GATING[@]}"; do
     run_spec v1 "$spec" "${GATING_FLAGS[@]}"
 done
+for spec in "${SPECS_IFC_V1[@]}"; do
+    run_spec v1 "$spec" --ifc
+done
+for spec in "${SPECS_IFC_V2[@]}"; do
+    run_spec v2 "$spec" --ifc
+done
 
 # Schema-check whatever the sweep wrote — event logs (fixed key order,
 # known record types, now including health_change/flight_dump) and the
@@ -125,4 +145,4 @@ if [[ $failures -gt 0 || $schema_rc -ne 0 ]]; then
     echo "chaos_run: $failures failing spec(s), schema rc=$schema_rc" >&2
     exit 1
 fi
-echo "chaos_run: all $total_runs specs (v1+v2+spec-K) detected or safely denied"
+echo "chaos_run: all $total_runs specs (v1+v2+spec-K+ifc) detected or safely denied"

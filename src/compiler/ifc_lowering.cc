@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Information-flow-control lowering.
+ *
+ * Three insertions, all driven by the ir::Global ifc_* annotations
+ * (the mini-IR analog of source-level __attribute__((ifc_label(...)))
+ * source/sink attributes):
+ *
+ *  1. Source labels. At the top of the entry function, every global
+ *     with ifc_label != 0 gets LABEL-DEF messages covering its
+ *     annotated byte range at 8-byte granularity.
+ *
+ *  2. Value provenance joins. Within each function, a forward walk
+ *     tracks which address register each value register was loaded
+ *     from (through Cast and Arith chains — arithmetic launders bits,
+ *     not labels). Every store of a value with load provenance emits
+ *     LABEL-JOIN(src addr, dst addr) after the store. Both operands
+ *     are *runtime* addresses: an out-of-bounds read picks up the
+ *     label of whatever memory it actually read, which is exactly why
+ *     data-only attacks cannot dodge the join.
+ *
+ *  3. Sink checks. Every store whose target slot statically resolves
+ *     to a global with ifc_sink_forbid != 0 emits LABEL-CHECK(dst
+ *     addr, forbid) after the store (and after its join, so the
+ *     incoming value's label has already propagated).
+ *
+ * The propagation is deliberately an over-approximation (no strong
+ * updates: overwriting a labeled location with clean data does not
+ * clear its label); docs/policies.md discusses the trade-off.
+ */
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "compiler/ifc_passes.h"
+
+namespace hq {
+
+using ir::Instr;
+using ir::IrOp;
+
+namespace {
+
+/** Label-definition granularity: one LABEL-DEF per 8 aligned bytes. */
+constexpr std::uint64_t kGranule = 8;
+
+/** Prepend the entry function's source-label definitions. */
+void
+emitSourceLabels(ir::Module &module, StatSet &stats)
+{
+    if (module.entry_function < 0)
+        return;
+    ir::Function &entry = module.functions[module.entry_function];
+    if (entry.blocks.empty())
+        return;
+    std::vector<Instr> prologue;
+    for (const ir::Global &global : module.globals) {
+        if (global.ifc_label == 0)
+            continue;
+        const std::uint64_t begin = global.ifc_label_offset;
+        const std::uint64_t size = global.ifc_label_size != 0
+                                       ? global.ifc_label_size
+                                       : global.size;
+        const std::uint64_t end =
+            std::max(begin + size, begin + kGranule);
+
+        Instr addr;
+        addr.op = IrOp::GlobalAddr;
+        addr.dest = entry.num_regs++;
+        addr.imm = static_cast<std::uint64_t>(global.id);
+        addr.flags = ir::kFlagInstrumentation;
+        prologue.push_back(addr);
+
+        for (std::uint64_t off = begin; off < end; off += kGranule) {
+            int reg = addr.dest;
+            if (off != 0) {
+                Instr k;
+                k.op = IrOp::ConstInt;
+                k.dest = entry.num_regs++;
+                k.imm = off;
+                k.flags = ir::kFlagInstrumentation;
+                Instr add;
+                add.op = IrOp::Arith;
+                add.dest = entry.num_regs++;
+                add.a = addr.dest;
+                add.b = k.dest;
+                add.aux = static_cast<int>(ir::ArithKind::Add);
+                add.flags = ir::kFlagInstrumentation;
+                prologue.push_back(k);
+                prologue.push_back(add);
+                reg = add.dest;
+            }
+            Instr def;
+            def.op = IrOp::LabelDefMsg;
+            def.a = reg;
+            def.imm = global.ifc_label;
+            def.flags = ir::kFlagInstrumentation;
+            prologue.push_back(def);
+            stats.increment("ifc.label_defs");
+        }
+    }
+    if (prologue.empty())
+        return;
+    auto &instrs = entry.blocks.front().instrs;
+    instrs.insert(instrs.begin(), prologue.begin(), prologue.end());
+}
+
+} // namespace
+
+void
+IfcLoweringPass::run(ir::Module &module, StatSet &stats)
+{
+    emitSourceLabels(module, stats);
+
+    for (ir::Function &function : module.functions) {
+        const FunctionAnalysis fa(module, function);
+
+        // Load provenance: value register -> the address register its
+        // bytes were loaded from, propagated through Cast and Arith
+        // (single-assignment registers make one forward pass in block
+        // layout order sufficient for builder-produced code: defs
+        // precede uses). Conservative: when both Arith operands carry
+        // provenance, the left one wins — joins are monotone, so a
+        // dropped second source can only under-approximate, and such
+        // two-load arithmetic does not occur in annotated flows.
+        std::unordered_map<int, int> loaded_from;
+
+        std::vector<std::vector<Instr>> rewritten(function.blocks.size());
+        for (int b = 0; b < static_cast<int>(function.blocks.size());
+             ++b) {
+            const auto &instrs = function.blocks[b].instrs;
+            auto &out = rewritten[b];
+            out.reserve(instrs.size() + 4);
+            for (const Instr &instr : instrs) {
+                out.push_back(instr);
+                switch (instr.op) {
+                  case IrOp::Load:
+                    if (!(instr.flags & ir::kFlagInstrumentation))
+                        loaded_from[instr.dest] = instr.a;
+                    break;
+                  case IrOp::Cast: {
+                    auto it = loaded_from.find(instr.a);
+                    if (it != loaded_from.end())
+                        loaded_from[instr.dest] = it->second;
+                    break;
+                  }
+                  case IrOp::Arith: {
+                    auto it = loaded_from.find(instr.a);
+                    if (it == loaded_from.end())
+                        it = loaded_from.find(instr.b);
+                    if (it != loaded_from.end())
+                        loaded_from[instr.dest] = it->second;
+                    break;
+                  }
+                  case IrOp::Store: {
+                    if (instr.flags & ir::kFlagInstrumentation)
+                        break;
+                    auto it = loaded_from.find(instr.b);
+                    if (it != loaded_from.end()) {
+                        Instr join;
+                        join.op = IrOp::LabelJoinMsg;
+                        join.a = it->second; // src: runtime load addr
+                        join.b = instr.a;    // dst: runtime store addr
+                        join.flags = ir::kFlagInstrumentation;
+                        out.push_back(join);
+                        stats.increment("ifc.joins");
+                    }
+                    const SlotRef slot = fa.slotOf(instr.a);
+                    if (slot.resolved() &&
+                        slot.base == SlotRef::Base::Global) {
+                        const ir::Global &global =
+                            module.globals[slot.id];
+                        if (global.ifc_sink_forbid != 0) {
+                            Instr check;
+                            check.op = IrOp::LabelCheckMsg;
+                            check.a = instr.a;
+                            check.imm = global.ifc_sink_forbid;
+                            check.flags = ir::kFlagInstrumentation;
+                            out.push_back(check);
+                            stats.increment("ifc.checks");
+                        }
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+        for (std::size_t b = 0; b < function.blocks.size(); ++b)
+            function.blocks[b].instrs = std::move(rewritten[b]);
+    }
+}
+
+} // namespace hq

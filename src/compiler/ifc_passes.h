@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Information-flow-control instrumentation pass. See ifc_lowering.cc
+ * for the analysis; pairs with policy/ifc.h on the verifier side.
+ */
+
+#ifndef HQ_COMPILER_IFC_PASSES_H
+#define HQ_COMPILER_IFC_PASSES_H
+
+#include "compiler/passes.h"
+
+namespace hq {
+
+/**
+ * Lowers the module's IFC source/sink annotations (ir::Global::ifc_*)
+ * to label messages: LABEL-DEF for annotated sources at program start,
+ * LABEL-JOIN after every store whose value was loaded from memory
+ * (runtime-address provenance, so out-of-bounds reads carry the label
+ * of whatever they actually read), and LABEL-CHECK after stores into
+ * annotated sinks.
+ */
+class IfcLoweringPass : public Pass
+{
+  public:
+    const char *name() const override { return "ifc-lowering"; }
+    void run(ir::Module &module, StatSet &stats) override;
+};
+
+} // namespace hq
+
+#endif // HQ_COMPILER_IFC_PASSES_H

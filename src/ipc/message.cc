@@ -33,6 +33,9 @@ opcodeName(Opcode op)
       case Opcode::DfiRead: return "DFI-READ";
       case Opcode::TagSet: return "TAG-SET";
       case Opcode::TagCheck: return "TAG-CHECK";
+      case Opcode::LabelDef: return "LABEL-DEF";
+      case Opcode::LabelCheck: return "LABEL-CHECK";
+      case Opcode::LabelJoin: return "LABEL-JOIN";
       case Opcode::NumOpcodes: break;
     }
     return "UNKNOWN";

@@ -94,6 +94,17 @@ enum class Opcode : std::uint32_t {
     /// match the containing region's memory tag.
     TagCheck,
 
+    // --- Information-flow control (taint/IFC labels) ----------------
+    /// LABEL-DEF(a, label): bind lattice label arg1 to address arg0.
+    /// label 0 (PUBLIC, the lattice bottom) clears the binding.
+    LabelDef,
+    /// LABEL-CHECK(a, forbid): the value at arg0 flows into a sink that
+    /// forbids the label bits in arg1; any overlap is a violation.
+    LabelCheck,
+    /// LABEL-JOIN(src, dst): the value at src was copied/combined into
+    /// dst; dst's label becomes the lattice join (bitwise OR) of both.
+    LabelJoin,
+
     NumOpcodes,
 };
 

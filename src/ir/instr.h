@@ -76,6 +76,11 @@ enum class IrOp : std::uint8_t {
     DfiWriteMsg, //!< DFI-WRITE(addr a, writer id imm)
     DfiReadMsg,  //!< DFI-READ(addr a, allowed writer bitmask imm)
 
+    // --- Information-flow-control instrumentation ----------------------
+    LabelDefMsg,   //!< LABEL-DEF(addr a, label imm)
+    LabelCheckMsg, //!< LABEL-CHECK(addr a, forbidden mask imm)
+    LabelJoinMsg,  //!< LABEL-JOIN(src addr a, dst addr b)
+
     // --- Baseline CFI designs (inline, in-process checks) -------------
     CfiTypeCheck, //!< Clang/LLVM CFI: funcptr a must be in class imm
     MacDefine,    //!< CCFI: write MAC for pointer at addr a, value b

@@ -44,6 +44,9 @@ irOpName(IrOp op)
       case IrOp::HqGuardExit: return "hq.guard.exit";
       case IrOp::DfiWriteMsg: return "dfi.write";
       case IrOp::DfiReadMsg: return "dfi.read";
+      case IrOp::LabelDefMsg: return "ifc.labeldef";
+      case IrOp::LabelCheckMsg: return "ifc.labelcheck";
+      case IrOp::LabelJoinMsg: return "ifc.labeljoin";
       case IrOp::CfiTypeCheck: return "cfi.typecheck";
       case IrOp::MacDefine: return "ccfi.macdefine";
       case IrOp::MacCheck: return "ccfi.maccheck";

@@ -93,6 +93,23 @@ struct Global
      * control-flow pointers before main runs).
      */
     int funcptr_class = 0;
+
+    // --- IFC annotations (source/sink attributes; compiler/ifc_passes) --
+    /**
+     * Source annotation: lattice label bound to this global's bytes at
+     * startup (the IfcLoweringPass emits LABEL-DEF per 8-byte granule).
+     * 0 = unlabeled.
+     */
+    std::uint64_t ifc_label = 0;
+    /** Byte range the source label covers; size 0 = the whole global. */
+    std::uint64_t ifc_label_offset = 0;
+    std::uint64_t ifc_label_size = 0;
+    /**
+     * Sink annotation: values stored into this global must not carry
+     * any of these label bits (LABEL-CHECK after every resolved store).
+     * 0 = not a sink.
+     */
+    std::uint64_t ifc_sink_forbid = 0;
 };
 
 /** C++ class metadata for virtual dispatch and devirtualization. */

@@ -34,6 +34,7 @@ class DataFlowContext : public PolicyContext
     Status handleMessage(const Message &message) override;
     std::unique_ptr<PolicyContext> cloneForChild(Pid child) const override;
     std::size_t entryCount() const override { return _last_writer.size(); }
+    const char *violationFamily() const override { return "dfi"; }
 
     std::uint64_t violationCount() const { return _violations; }
 

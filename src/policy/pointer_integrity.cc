@@ -43,6 +43,13 @@ PointerIntegrityContext::handleMessage(const Message &message)
       case Opcode::EventCount:
         return Status::ok(); // not pointer-policy relevant
 
+      case Opcode::LabelDef:
+      case Opcode::LabelCheck:
+      case Opcode::LabelJoin:
+        // Another policy family's traffic on the shared stream (the
+        // IFC label policy); a CFI-only verifier accepts it untouched.
+        return Status::ok();
+
       case Opcode::BlockSize:
         _pending_block_size = message.arg0;
         return Status::ok();

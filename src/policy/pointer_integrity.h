@@ -43,6 +43,7 @@ class PointerIntegrityContext : public PolicyContext
     Status handleMessage(const Message &message) override;
     std::unique_ptr<PolicyContext> cloneForChild(Pid child) const override;
     std::size_t entryCount() const override { return _pointers.size(); }
+    const char *violationFamily() const override { return "cfi"; }
 
     /** Prefetch the shadow-store buckets a drained batch will probe
      *  (point-lookup opcodes only; block operations scan anyway). */

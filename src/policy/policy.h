@@ -56,6 +56,15 @@ class PolicyContext
      * 16-byte pointer-value pairs for the CFI policy).
      */
     virtual std::size_t entryCount() const { return 0; }
+
+    /**
+     * Short policy-family tag ("cfi", "ifc", "dfi", ...) attached to
+     * JSONL violation records as the "policy" field. Composite contexts
+     * return the family of the module that raised the most recent
+     * violation; the default covers contexts predating policy
+     * diversity.
+     */
+    virtual const char *violationFamily() const { return ""; }
 };
 
 /** A policy: names itself and mints per-process contexts. */

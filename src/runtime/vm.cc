@@ -297,9 +297,9 @@ Vm::run(const std::vector<std::uint64_t> &args)
             function.blocks[_cur_block].instrs[_cur_index];
         if (_config.cycle_sink)
             _config.cycle_sink->onInstr(instr);
-        // Instrumentation density stat (HqDefine..DfiReadMsg are
+        // Instrumentation density stat (HqDefine..LabelJoinMsg are
         // contiguous): exported as vm.instrumentation_ops at finish().
-        if (instr.op >= IrOp::HqDefine && instr.op <= IrOp::DfiReadMsg)
+        if (instr.op >= IrOp::HqDefine && instr.op <= IrOp::LabelJoinMsg)
             ++_result.hq_ops;
         auto R = [&frame](int reg) -> std::uint64_t & {
             return frame.regs[reg];
@@ -750,6 +750,21 @@ Vm::run(const std::vector<std::uint64_t> &args)
             if (_config.hq_messages && _runtime)
                 _runtime->send(Message(Opcode::DfiRead, R(instr.a),
                                        instr.imm));
+            break;
+          case IrOp::LabelDefMsg:
+            if (_config.hq_messages && _runtime)
+                _runtime->send(Message(Opcode::LabelDef, R(instr.a),
+                                       instr.imm));
+            break;
+          case IrOp::LabelCheckMsg:
+            if (_config.hq_messages && _runtime)
+                _runtime->send(Message(Opcode::LabelCheck, R(instr.a),
+                                       instr.imm));
+            break;
+          case IrOp::LabelJoinMsg:
+            if (_config.hq_messages && _runtime)
+                _runtime->send(Message(Opcode::LabelJoin, R(instr.a),
+                                       R(instr.b)));
             break;
 
           case IrOp::HqGuardEnter: {

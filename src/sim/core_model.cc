@@ -89,6 +89,11 @@ CoreModel::onInstr(const ir::Instr &instr)
       case IrOp::HqBlockCopy:
       case IrOp::HqBlockMove:
       case IrOp::HqBlockInvalidate:
+      case IrOp::DfiWriteMsg:
+      case IrOp::DfiReadMsg:
+      case IrOp::LabelDefMsg:
+      case IrOp::LabelCheckMsg:
+      case IrOp::LabelJoinMsg:
         is_appendwrite = true;
         break;
       case IrOp::HqGuardEnter:

@@ -118,7 +118,9 @@ EventLog::append(const EventRecord &record)
     _out << "{\"type\":\"" << eventTypeName(record.type)
          << "\",\"ts_wall_ms\":" << wall_ms << ",\"ts_ns\":" << ts_ns
          << ",\"pid\":" << record.pid << ",\"shard\":" << record.shard
-         << ",\"op\":\"";
+         << ",\"policy\":\"";
+    appendEscaped(_out, record.policy);
+    _out << "\",\"op\":\"";
     appendEscaped(_out, record.op);
     _out << "\",\"arg0\":" << record.arg0 << ",\"arg1\":" << record.arg1
          << ",\"seq\":" << record.seq << ",\"lag_ns\":" << record.lag_ns

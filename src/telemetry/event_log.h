@@ -58,6 +58,10 @@ struct EventRecord
     /// Verifier shard that owns pid's state (-1 when the emitter is not
     /// the verifier — e.g. ring drops observed device-side).
     std::int32_t shard = -1;
+    /// Policy family that raised a violation verdict ("cfi", "ifc",
+    /// ...); "transport" for integrity failures (CRC, seq gap); "" when
+    /// the event is not a verdict at all.
+    std::string policy;
     std::string op; //!< opcode name of the offending message ("" = none)
     std::uint64_t arg0 = 0;
     std::uint64_t arg1 = 0;

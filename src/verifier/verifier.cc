@@ -119,9 +119,86 @@ Verifier::attachChannel(Channel *channel, Pid owner, bool device_stamped)
     entry->channel = channel;
     entry->owner = owner;
     entry->device_stamped = device_stamped;
+    if (device_stamped)
+        _device_channels.fetch_add(1, std::memory_order_relaxed);
     Shard &shard = *_shards[_registry.shardOf(owner)];
     std::lock_guard<std::mutex> guard(shard.state_mutex);
     shard.channels.push_back(std::move(entry));
+}
+
+void
+Verifier::detachChannel(Channel *channel)
+{
+    for (auto &shard_ptr : _shards) {
+        Shard &shard = *shard_ptr;
+        // drain_mutex first: an in-flight pollShard holds it for the
+        // whole round and its drain_list snapshot carries raw pointers
+        // into shard.channels, so the entry must not be freed (nor the
+        // vector resized) under a running drain. Same order as
+        // pollShard (drain, then state), so no lock-order inversion.
+        std::lock_guard<std::mutex> drain_guard(shard.drain_mutex);
+        std::lock_guard<std::mutex> state_guard(shard.state_mutex);
+        Pid owner = 0;
+        bool found = false;
+        for (auto it = shard.channels.begin(); it != shard.channels.end();
+             ++it) {
+            if ((*it)->channel == channel) {
+                owner = (*it)->owner;
+                found = true;
+                if ((*it)->device_stamped) {
+                    _device_channels.fetch_sub(1,
+                                               std::memory_order_relaxed);
+                }
+                shard.channels.erase(it);
+                break;
+            }
+        }
+        if (!found)
+            continue;
+        // The snapshot may still point at the freed entry; clear it so
+        // the next round rebuilds from the live list.
+        shard.drain_list.clear();
+        // Churn-edge reclamation: onProcessExited keeps the exited
+        // process's policy-table slice for post-mortem inspection, but
+        // once its *last* channel detaches nothing can reference the
+        // slice again — a stale entry per churned pid would grow the
+        // shard's process map without bound under attach/detach churn.
+        bool owner_has_channels = false;
+        for (const auto &remaining : shard.channels) {
+            if (remaining->owner == owner) {
+                owner_has_channels = true;
+                break;
+            }
+        }
+        if (!owner_has_channels && !_registry.isLive(owner)) {
+            auto it = shard.processes.find(owner);
+            if (it != shard.processes.end() && it->second.exited)
+                shard.processes.erase(it);
+        }
+        return;
+    }
+}
+
+std::size_t
+Verifier::policySliceCount() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> guard(shard->state_mutex);
+        total += shard->processes.size();
+    }
+    return total;
+}
+
+std::size_t
+Verifier::channelCount() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> guard(shard->state_mutex);
+        total += shard->channels.size();
+    }
+    return total;
 }
 
 void
@@ -553,6 +630,17 @@ Verifier::recordViolation(std::size_t home_shard, Pid pid,
         record.type = event_type;
         record.pid = pid;
         record.shard = static_cast<std::int32_t>(home_shard);
+        // Policy-family attribution: a policy verdict carries the
+        // family of the context (module) that raised it; transport
+        // integrity failures (CRC, seq gaps) are not any policy's
+        // verdict and tag as "transport".
+        if (event_type == telemetry::EventType::Violation) {
+            record.policy =
+                process.context ? process.context->violationFamily() : "";
+        } else if (event_type == telemetry::EventType::CorruptMsg ||
+                   event_type == telemetry::EventType::SeqGap) {
+            record.policy = "transport";
+        }
         record.op = opcodeName(message.op);
         record.arg0 = message.arg0;
         record.arg1 = message.arg1;
@@ -852,7 +940,23 @@ Verifier::onProcessExited(Pid pid)
             return;
         // The policy context is kept for post-mortem inspection by the
         // harnesses; the exited flag stops further message processing.
-        it->second.exited = true;
+        // Unless the pid's channels are already gone (detachChannel ran
+        // first): with nothing left to name the slice, keeping it would
+        // leak one entry per churned pid. A device-stamped channel
+        // anywhere can carry any pid's messages, so its presence keeps
+        // every slice post-mortem.
+        bool has_channels =
+            _device_channels.load(std::memory_order_relaxed) != 0;
+        for (const auto &entry : shard.channels) {
+            if (has_channels)
+                break;
+            if (entry->owner == pid)
+                has_channels = true;
+        }
+        if (has_channels)
+            it->second.exited = true;
+        else
+            shard.processes.erase(it);
     }
     _registry.release(pid);
 }

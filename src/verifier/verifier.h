@@ -168,6 +168,17 @@ class Verifier : public ProcessEventListener
     void attachChannel(Channel *channel, Pid owner,
                        bool device_stamped = false);
 
+    /**
+     * Remove a previously attached channel. Serializes against an
+     * in-flight drain (the drain-list snapshot holds raw entry
+     * pointers), and — the churn edge — reclaims the owner's
+     * policy-table slice when this was the pid's last channel and the
+     * pid is no longer live: an exited process's slice is kept for
+     * post-mortem inspection only while a channel could still name it.
+     * No-op if the channel was never attached.
+     */
+    void detachChannel(Channel *channel);
+
     /** Start one event-loop thread per shard. */
     void start();
 
@@ -218,6 +229,16 @@ class Verifier : public ProcessEventListener
 
     /** Messages processed by one shard (always on; tests). */
     std::uint64_t shardMessages(std::size_t shard_index) const;
+
+    /**
+     * Policy-table slice entries across all shards (live + retained
+     * post-mortem). The churn regression tests assert this returns to
+     * baseline after attach/exit/detach cycles.
+     */
+    std::size_t policySliceCount() const;
+
+    /** Attached channels across all shards. */
+    std::size_t channelCount() const;
 
     /** Health watchdog (nullptr unless Config::health_enabled). */
     telemetry::HealthMonitor *healthMonitor() { return _health.get(); }
@@ -427,6 +448,10 @@ class Verifier : public ProcessEventListener
     std::atomic<bool> _running{false};
     std::atomic<bool> _crashed{false};
     std::atomic<std::uint64_t> _total_messages{0};
+    /// Device-stamped channels currently attached (any shard). While
+    /// nonzero, exited slices are always retained: a device channel can
+    /// carry any pid's messages, so post-mortem lookups stay valid.
+    std::atomic<std::size_t> _device_channels{0};
 
     /// Declared after _shards (samples them via callback); stopped in
     /// stop() before the channels can go away under it.

@@ -22,7 +22,9 @@
 #include "faultinject/fault.h"
 #include "ipc/shm_channel.h"
 #include "kernel/kernel.h"
+#include "policy/ifc.h"
 #include "policy/pointer_integrity.h"
+#include "policy/policy_module.h"
 #include "telemetry/event_log.h"
 #include "verifier/verifier.h"
 
@@ -337,6 +339,175 @@ TEST_F(CrashRecoveryTest, SpeculationDepthSurvivesCrashAndReplay)
 
     crashed.reset();
     kernel.exitProcess(kPid);
+}
+
+// ---------------------------------------------------------------------
+// IFC label-state recovery (policy diversity: the second table family)
+// ---------------------------------------------------------------------
+
+std::shared_ptr<MultiPolicy>
+cfiPlusIfcPolicy()
+{
+    auto multi = std::make_shared<MultiPolicy>();
+    multi->addPolicy(std::make_unique<PointerIntegrityPolicy>());
+    multi->addPolicy(std::make_unique<IfcPolicy>());
+    return multi;
+}
+
+IfcContext *
+ifcContextOf(Verifier &verifier, Pid pid)
+{
+    auto *multi = static_cast<MultiPolicyContext *>(verifier.contextFor(pid));
+    return multi == nullptr
+               ? nullptr
+               : static_cast<IfcContext *>(multi->contextFor("ifc"));
+}
+
+/**
+ * A deterministic label workload: definitions across two facets, join
+ * chains, a declassification, and passing sink checks — enough shape
+ * that a half-applied table cannot collide with the full one.
+ */
+std::vector<Message>
+labelStream()
+{
+    std::vector<Message> stream;
+    for (int i = 0; i < 10; ++i)
+        stream.push_back(
+            Message(Opcode::LabelDef, 0x1000 + 8 * i, label::kSecret));
+    for (int i = 0; i < 5; ++i)
+        stream.push_back(
+            Message(Opcode::LabelDef, 0x2000 + 8 * i, label::kTainted));
+    // Propagation chains off both facets, converging at 0x5000.
+    stream.push_back(Message(Opcode::LabelJoin, 0x1000, 0x3000));
+    stream.push_back(Message(Opcode::LabelJoin, 0x3000, 0x3008));
+    stream.push_back(Message(Opcode::LabelJoin, 0x2000, 0x5000));
+    stream.push_back(Message(Opcode::LabelJoin, 0x3008, 0x5000));
+    // Declassify one source; its entry must vanish from the table.
+    stream.push_back(Message(Opcode::LabelDef, 0x1048, label::kPublic));
+    // Sink checks that pass (unlabeled address / non-forbidden facet).
+    stream.push_back(Message(Opcode::LabelCheck, 0x9000, label::kSecret));
+    stream.push_back(Message(Opcode::LabelCheck, 0x2000, label::kSecret));
+    return stream;
+}
+
+TEST_F(CrashRecoveryTest, IfcLabelTableReconstructsBitIdenticallyOnReplay)
+{
+    // Reference: an uncrashed verifier processes the whole label stream.
+    const std::vector<Message> stream = labelStream();
+    std::uint64_t reference_fingerprint = 0;
+    std::vector<std::pair<Addr, std::uint64_t>> reference_table;
+    {
+        KernelModule kernel(fastEpochConfig());
+        Verifier verifier(kernel, cfiPlusIfcPolicy(), checkingConfig());
+        kernel.enableProcess(kPid);
+        ShmChannel channel(1 << 10);
+        verifier.attachChannel(&channel, kPid);
+        for (const Message &message : stream)
+            ASSERT_TRUE(channel.send(message).isOk());
+        verifier.poll();
+        IfcContext *ifc = ifcContextOf(verifier, kPid);
+        ASSERT_NE(ifc, nullptr);
+        ASSERT_GT(ifc->entryCount(), 0u);
+        reference_fingerprint = ifc->tableFingerprint();
+        reference_table = ifc->tableSnapshot();
+    }
+
+    // Crash mid-epoch with live labels: the fault fires while the label
+    // table is half-built.
+    KernelModule kernel(fastEpochConfig());
+    ShmChannel channel(1 << 10);
+    auto crashed = std::make_unique<Verifier>(kernel, cfiPlusIfcPolicy(),
+                                              checkingConfig());
+    kernel.enableProcess(kPid);
+    crashed->attachChannel(&channel, kPid);
+    fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                  /*after_n=*/7, /*max_fires=*/1);
+    for (const Message &message : stream)
+        ASSERT_TRUE(channel.send(message).isOk());
+    crashed->poll();
+    ASSERT_TRUE(crashed->crashed());
+    fi::disarmAll();
+
+    IfcContext *partial = ifcContextOf(*crashed, kPid);
+    ASSERT_NE(partial, nullptr);
+    EXPECT_NE(partial->tableFingerprint(), reference_fingerprint)
+        << "crash should have left a partially built label table";
+
+    // Restart: fresh contexts via the kernel's replay, then the sender
+    // republishes its label state (the runtime knows every definition it
+    // made; reconstruction = replaying them onto the empty slice).
+    Verifier restarted(kernel, cfiPlusIfcPolicy(), checkingConfig());
+    EXPECT_EQ(kernel.replayProcessesTo(&restarted), 1u);
+    restarted.attachChannel(&channel, kPid);
+    IfcContext *rebuilt = ifcContextOf(restarted, kPid);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(rebuilt->entryCount(), 0u)
+        << "replayProcessesTo must mint a fresh, empty label slice";
+
+    for (const Message &message : stream)
+        ASSERT_TRUE(channel.send(message).isOk());
+    restarted.poll();
+
+    EXPECT_EQ(restarted.statsFor(kPid).violations, 0u)
+        << "replaying a clean label stream must not flag violations";
+    EXPECT_EQ(rebuilt->tableFingerprint(), reference_fingerprint)
+        << "replayed label table diverged from the uncrashed reference";
+    EXPECT_EQ(rebuilt->tableSnapshot(), reference_table)
+        << "fingerprints collided but bindings differ";
+
+    crashed.reset();
+    kernel.exitProcess(kPid);
+}
+
+TEST_F(CrashRecoveryTest, IfcReplayConvergesFromAnyCrashPoint)
+{
+    // Sweep the crash point across the stream: wherever the verifier
+    // dies, fresh-context replay converges to the same fingerprint.
+    const std::vector<Message> stream = labelStream();
+    std::uint64_t reference_fingerprint = 0;
+    {
+        KernelModule kernel(fastEpochConfig());
+        Verifier verifier(kernel, cfiPlusIfcPolicy(), checkingConfig());
+        kernel.enableProcess(kPid);
+        ShmChannel channel(1 << 10);
+        verifier.attachChannel(&channel, kPid);
+        for (const Message &message : stream)
+            ASSERT_TRUE(channel.send(message).isOk());
+        verifier.poll();
+        reference_fingerprint =
+            ifcContextOf(verifier, kPid)->tableFingerprint();
+    }
+
+    for (std::size_t crash_at = 1; crash_at < stream.size();
+         crash_at += 5) {
+        KernelModule kernel(fastEpochConfig());
+        ShmChannel channel(1 << 10);
+        auto crashed = std::make_unique<Verifier>(
+            kernel, cfiPlusIfcPolicy(), checkingConfig());
+        kernel.enableProcess(kPid);
+        crashed->attachChannel(&channel, kPid);
+        fi::FaultPlan::instance().arm(fi::Site::VerifierCrash, 1.0,
+                                      crash_at, /*max_fires=*/1);
+        for (const Message &message : stream)
+            ASSERT_TRUE(channel.send(message).isOk());
+        crashed->poll();
+        ASSERT_TRUE(crashed->crashed()) << "crash_at=" << crash_at;
+        fi::disarmAll();
+
+        Verifier restarted(kernel, cfiPlusIfcPolicy(), checkingConfig());
+        ASSERT_EQ(kernel.replayProcessesTo(&restarted), 1u);
+        restarted.attachChannel(&channel, kPid);
+        for (const Message &message : stream)
+            ASSERT_TRUE(channel.send(message).isOk());
+        restarted.poll();
+        EXPECT_EQ(ifcContextOf(restarted, kPid)->tableFingerprint(),
+                  reference_fingerprint)
+            << "replay diverged when crashing at message " << crash_at;
+
+        crashed.reset();
+        kernel.exitProcess(kPid);
+    }
 }
 
 } // namespace

@@ -514,9 +514,9 @@ void
 expectSchema(const std::string &line)
 {
     static const char *kKeys[] = {"type", "ts_wall_ms", "ts_ns",
-                                  "pid",  "shard",      "op",
-                                  "arg0", "arg1",       "seq",
-                                  "lag_ns", "reason"};
+                                  "pid",  "shard",      "policy",
+                                  "op",   "arg0",       "arg1",
+                                  "seq",  "lag_ns",     "reason"};
     std::size_t pos = 0;
     for (const char *key : kKeys) {
         const std::string needle = std::string("\"") + key + "\":";
@@ -588,6 +588,7 @@ TEST(EventLog, JsonlRecordsMatchGoldenSchema)
     telemetry::EventRecord violation;
     violation.type = telemetry::EventType::Violation;
     violation.pid = 7;
+    violation.policy = "cfi";
     violation.op = "POINTER-CHECK";
     violation.arg0 = 4096;
     violation.arg1 = 0xBEEF;
@@ -616,8 +617,8 @@ TEST(EventLog, JsonlRecordsMatchGoldenSchema)
     expectSchema(lines[0]);
     expectSchema(lines[1]);
     EXPECT_NE(lines[0].find("\"type\":\"violation\""), std::string::npos);
-    EXPECT_NE(lines[0].find("\"pid\":7,\"shard\":-1,\"op\""
-                            ":\"POINTER-CHECK\",\"arg0\""
+    EXPECT_NE(lines[0].find("\"pid\":7,\"shard\":-1,\"policy\":\"cfi\","
+                            "\"op\":\"POINTER-CHECK\",\"arg0\""
                             ":4096,\"arg1\":48879,\"seq\":3,\"lag_ns\""
                             ":123,\"reason\":\"bad pointer\"}"),
               std::string::npos);
@@ -651,6 +652,7 @@ TEST(EventLog, JsonlRecordsMatchCheckedInGoldenFile)
     violation.type = telemetry::EventType::Violation;
     violation.pid = 7;
     violation.shard = 2;
+    violation.policy = "cfi";
     violation.op = "POINTER-CHECK";
     violation.arg0 = 4096;
     violation.arg1 = 0xBEEF;

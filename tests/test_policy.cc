@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include "policy/data_flow.h"
+#include "policy/ifc.h"
 #include "policy/memory_safety.h"
 #include "policy/memory_tagging.h"
 #include "policy/misc_policies.h"
 #include "policy/pointer_integrity.h"
+#include "policy/policy_module.h"
 
 namespace hq {
 namespace {
@@ -470,6 +472,231 @@ TEST(DataFlow, IgnoresOtherPolicyTraffic)
     EXPECT_TRUE(ctx.handleMessage(msg(Opcode::PointerDefine, 1, 2)));
     EXPECT_TRUE(ctx.handleMessage(msg(Opcode::Syscall, 60)));
     EXPECT_EQ(ctx.entryCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Information-flow control (label lattice)
+// ---------------------------------------------------------------------
+
+TEST(Ifc, UnlabeledAddressesArePublic)
+{
+    IfcContext ctx(1);
+    EXPECT_EQ(ctx.labelOf(0x100), label::kPublic);
+    EXPECT_TRUE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                      label::kSecret)));
+    EXPECT_EQ(ctx.violationCount(), 0u);
+}
+
+TEST(Ifc, LabeledSourceReachingSinkIsViolation)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    Status s = ctx.handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                     label::kSecret));
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::PolicyViolation);
+    EXPECT_EQ(ctx.violationCount(), 1u);
+}
+
+TEST(Ifc, JoinPropagatesLabelAlongDataFlow)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    ctx.handleMessage(msg(Opcode::LabelJoin, 0x100, 0x200));
+    ctx.handleMessage(msg(Opcode::LabelJoin, 0x200, 0x300));
+    EXPECT_EQ(ctx.labelOf(0x300), label::kSecret);
+    EXPECT_FALSE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x300,
+                                       label::kSecret)));
+}
+
+TEST(Ifc, JoinIsLatticeOrOfFacets)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x200, label::kTainted));
+    ctx.handleMessage(msg(Opcode::LabelJoin, 0x100, 0x300));
+    ctx.handleMessage(msg(Opcode::LabelJoin, 0x200, 0x300));
+    EXPECT_EQ(ctx.labelOf(0x300), label::kSecret | label::kTainted);
+    // A sink forbidding only one facet still fires on the joined label.
+    EXPECT_FALSE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x300,
+                                       label::kTainted)));
+}
+
+TEST(Ifc, CheckMatchesOnlyForbiddenFacets)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kTainted));
+    // Secret-forbidding sink accepts merely tainted data.
+    EXPECT_TRUE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                      label::kSecret)));
+    EXPECT_FALSE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                       label::kTainted)));
+}
+
+TEST(Ifc, DeclassifyClearsLabelAndTableEntry)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    EXPECT_EQ(ctx.entryCount(), 1u);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kPublic));
+    EXPECT_EQ(ctx.entryCount(), 0u);
+    EXPECT_TRUE(ctx.handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                      label::kSecret)));
+}
+
+TEST(Ifc, PublicJoinIsNoOpAndAddsNoEntry)
+{
+    IfcContext ctx(1);
+    // Loop-counter style joins from unlabeled sources must not bloat
+    // the table.
+    ctx.handleMessage(msg(Opcode::LabelJoin, 0x900, 0x200));
+    EXPECT_EQ(ctx.entryCount(), 0u);
+    EXPECT_EQ(ctx.labelOf(0x200), label::kPublic);
+}
+
+TEST(Ifc, FingerprintIsOrderIndependent)
+{
+    IfcContext a(1);
+    a.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    a.handleMessage(msg(Opcode::LabelDef, 0x200, label::kTainted));
+    IfcContext b(1);
+    b.handleMessage(msg(Opcode::LabelDef, 0x200, label::kTainted));
+    b.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    EXPECT_EQ(a.tableFingerprint(), b.tableFingerprint());
+
+    b.handleMessage(msg(Opcode::LabelDef, 0x300, label::kSecret));
+    EXPECT_NE(a.tableFingerprint(), b.tableFingerprint());
+}
+
+TEST(Ifc, CloneCopiesLabelTable)
+{
+    IfcContext ctx(1);
+    ctx.handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    auto child = ctx.cloneForChild(2);
+    auto *child_ctx = static_cast<IfcContext *>(child.get());
+    EXPECT_EQ(child_ctx->labelOf(0x100), label::kSecret);
+    child_ctx->handleMessage(msg(Opcode::LabelDef, 0x100, label::kPublic));
+    EXPECT_EQ(ctx.labelOf(0x100), label::kSecret);
+}
+
+TEST(Ifc, IgnoresOtherPolicyTraffic)
+{
+    IfcContext ctx(1);
+    EXPECT_TRUE(ctx.handleMessage(msg(Opcode::PointerDefine, 1, 2)));
+    EXPECT_TRUE(ctx.handleMessage(msg(Opcode::DfiWrite, 0x100, 3)));
+    EXPECT_EQ(ctx.entryCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Policy-module composition
+// ---------------------------------------------------------------------
+
+std::unique_ptr<MultiPolicyContext>
+makeCfiPlusIfcContext()
+{
+    MultiPolicy multi;
+    multi.addPolicy(std::make_unique<PointerIntegrityPolicy>());
+    multi.addPolicy(std::make_unique<IfcPolicy>());
+    auto ctx = multi.makeContext(1);
+    return std::unique_ptr<MultiPolicyContext>(
+        static_cast<MultiPolicyContext *>(ctx.release()));
+}
+
+TEST(MultiPolicyComposition, FansMessagesToEveryFamily)
+{
+    auto ctx = makeCfiPlusIfcContext();
+    ctx->handleMessage(msg(Opcode::PointerDefine, 0x100, 0xAA));
+    ctx->handleMessage(msg(Opcode::LabelDef, 0x200, label::kSecret));
+    EXPECT_EQ(ctx->entryCount(), 2u); // one CFI entry + one label entry
+    EXPECT_NE(ctx->contextFor("cfi"), nullptr);
+    EXPECT_NE(ctx->contextFor("ifc"), nullptr);
+    EXPECT_EQ(ctx->contextFor("nonesuch"), nullptr);
+}
+
+TEST(MultiPolicyComposition, PropagatesSubPolicyViolations)
+{
+    // Regression guard: a sub-policy's failing Status must surface from
+    // the composite (an always-OK fan-out silently disables every
+    // registered family).
+    auto ctx = makeCfiPlusIfcContext();
+    ctx->handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    Status s = ctx->handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                      label::kSecret));
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::PolicyViolation);
+    EXPECT_STREQ(ctx->violationFamily(), "ifc");
+
+    ctx->handleMessage(msg(Opcode::PointerDefine, 0x300, 0xAA));
+    EXPECT_FALSE(ctx->handleMessage(msg(Opcode::PointerCheck, 0x300, 0xBB)));
+    EXPECT_STREQ(ctx->violationFamily(), "cfi");
+
+    // A clean message resets the attribution tag.
+    EXPECT_TRUE(ctx->handleMessage(msg(Opcode::Syscall, 60)));
+    EXPECT_STREQ(ctx->violationFamily(), "");
+}
+
+TEST(MultiPolicyComposition, CfiAloneIgnoresLabelTraffic)
+{
+    // The leakbench contrast in miniature: the CFI family alone accepts
+    // the whole label stream, so only the IFC module turns it into a
+    // verdict.
+    PointerIntegrityContext cfi(1);
+    EXPECT_TRUE(cfi.handleMessage(msg(Opcode::LabelDef, 0x100,
+                                      label::kSecret)));
+    EXPECT_TRUE(cfi.handleMessage(msg(Opcode::LabelJoin, 0x100, 0x200)));
+    EXPECT_TRUE(cfi.handleMessage(msg(Opcode::LabelCheck, 0x200,
+                                      label::kSecret)));
+    EXPECT_EQ(cfi.entryCount(), 0u);
+}
+
+TEST(MultiPolicyComposition, AppliesToScopesModulesPerPid)
+{
+    // Application-specific module scoped to pid 7 only.
+    class ScopedIfcModule : public PolicyModule
+    {
+      public:
+        const char *family() const override { return "ifc"; }
+        std::unique_ptr<PolicyContext>
+        makeContext(Pid pid) override
+        {
+            return std::make_unique<IfcContext>(pid);
+        }
+        bool appliesTo(Pid pid) override { return pid == 7; }
+    };
+
+    MultiPolicy multi;
+    multi.addPolicy(std::make_unique<PointerIntegrityPolicy>());
+    multi.add(std::make_unique<ScopedIfcModule>());
+
+    auto covered = multi.makeContext(7);
+    auto *covered_ctx = static_cast<MultiPolicyContext *>(covered.get());
+    EXPECT_NE(covered_ctx->contextFor("ifc"), nullptr);
+    covered_ctx->handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    EXPECT_FALSE(covered_ctx->handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                                label::kSecret)));
+
+    auto other = multi.makeContext(8);
+    auto *other_ctx = static_cast<MultiPolicyContext *>(other.get());
+    EXPECT_EQ(other_ctx->contextFor("ifc"), nullptr);
+    // The uncovered pid's label traffic sails through.
+    other_ctx->handleMessage(msg(Opcode::LabelDef, 0x100, label::kSecret));
+    EXPECT_TRUE(other_ctx->handleMessage(msg(Opcode::LabelCheck, 0x100,
+                                             label::kSecret)));
+}
+
+TEST(MultiPolicyComposition, CloneForChildClonesEveryFamily)
+{
+    auto ctx = makeCfiPlusIfcContext();
+    ctx->handleMessage(msg(Opcode::PointerDefine, 0x100, 0xAA));
+    ctx->handleMessage(msg(Opcode::LabelDef, 0x200, label::kSecret));
+    auto child = ctx->cloneForChild(2);
+    auto *child_ctx = static_cast<MultiPolicyContext *>(child.get());
+    EXPECT_TRUE(child_ctx->handleMessage(msg(Opcode::PointerCheck, 0x100,
+                                             0xAA)));
+    auto *child_ifc =
+        static_cast<IfcContext *>(child_ctx->contextFor("ifc"));
+    ASSERT_NE(child_ifc, nullptr);
+    EXPECT_EQ(child_ifc->labelOf(0x200), label::kSecret);
 }
 
 } // namespace

@@ -26,7 +26,9 @@
 #include "faultinject/fault.h"
 #include "ipc/shm_channel.h"
 #include "kernel/kernel.h"
+#include "policy/ifc.h"
 #include "policy/pointer_integrity.h"
+#include "policy/policy_module.h"
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
 #include "verifier/shard.h"
@@ -303,6 +305,97 @@ TEST(ShardVerifier, WorkerThreadsDrainAllShards)
     EXPECT_EQ(verifier.totalMessages(), 200u);
     for (Pid pid : pids)
         EXPECT_EQ(verifier.statsFor(pid).messages, 50u);
+}
+
+// ---------------------------------------------------------------------
+// Attach/detach churn: policy-table slice reclamation
+// ---------------------------------------------------------------------
+
+TEST(ShardChurn, DetachOfLastChannelReclaimsPolicySlice)
+{
+    // Regression: a pid whose last channel detached after exit used to
+    // leave a stale policy-table slice in its home shard's process map
+    // — one leaked entry (CFI shadow slice + IFC label slice) per
+    // churned pid. 100 attach/exit/detach rounds, both orderings, must
+    // return the slice count to the pre-churn baseline.
+    KernelModule kernel(fastEpochConfig());
+    auto multi = std::make_shared<MultiPolicy>();
+    multi->addPolicy(std::make_unique<PointerIntegrityPolicy>());
+    multi->addPolicy(std::make_unique<IfcPolicy>());
+    Verifier::Config config;
+    config.num_shards = 4;
+    Verifier verifier(kernel, multi, config);
+
+    const std::size_t baseline = verifier.policySliceCount();
+    ASSERT_EQ(baseline, 0u);
+
+    for (Pid pid = 1; pid <= 100; ++pid) {
+        ASSERT_TRUE(kernel.enableProcess(pid).isOk());
+        ShmChannel channel(1 << 10);
+        verifier.attachChannel(&channel, pid);
+        // Populate both families' table slices so reclamation is
+        // observable as more than an empty map entry.
+        ASSERT_TRUE(
+            channel.send(Message(Opcode::PointerDefine, 0x100, 0xAA))
+                .isOk());
+        ASSERT_TRUE(channel
+                        .send(Message(Opcode::LabelDef, 0x200,
+                                      label::kSecret))
+                        .isOk());
+        verifier.poll();
+        EXPECT_EQ(verifier.statsFor(pid).messages, 2u);
+        EXPECT_GE(verifier.policySliceCount(), 1u);
+
+        // Alternate the orderings of the churn edge: exit-then-detach
+        // (slice held post-mortem until the last channel goes) and
+        // detach-then-exit (slice held until the exit notification).
+        if (pid % 2 == 0) {
+            kernel.exitProcess(pid);
+            verifier.detachChannel(&channel);
+        } else {
+            verifier.detachChannel(&channel);
+            kernel.exitProcess(pid);
+        }
+    }
+
+    EXPECT_EQ(verifier.policySliceCount(), baseline)
+        << "churned pids leaked policy-table slices";
+    EXPECT_EQ(verifier.channelCount(), 0u);
+}
+
+TEST(ShardChurn, DetachMidDrainDoesNotLeakSlicesOrCrash)
+{
+    // Same churn with live worker threads so detachChannel races an
+    // in-flight drain (the drain_list snapshot invalidation path).
+    KernelModule kernel(fastEpochConfig());
+    auto multi = std::make_shared<MultiPolicy>();
+    multi->addPolicy(std::make_unique<PointerIntegrityPolicy>());
+    multi->addPolicy(std::make_unique<IfcPolicy>());
+    Verifier::Config config;
+    config.num_shards = 4;
+    Verifier verifier(kernel, multi, config);
+    verifier.start();
+
+    for (Pid pid = 1; pid <= 100; ++pid) {
+        ASSERT_TRUE(kernel.enableProcess(pid).isOk());
+        ShmChannel channel(1 << 10);
+        verifier.attachChannel(&channel, pid);
+        for (int k = 0; k < 8; ++k) {
+            ASSERT_TRUE(channel
+                            .send(Message(Opcode::LabelDef, 0x100 + 8 * k,
+                                          label::kTainted))
+                            .isOk());
+        }
+        // Detach while the workers may still be mid-drain on this
+        // channel; the entry must be unhooked safely either way.
+        verifier.detachChannel(&channel);
+        kernel.exitProcess(pid);
+    }
+
+    verifier.stop();
+    EXPECT_EQ(verifier.policySliceCount(), 0u)
+        << "mid-drain detach leaked policy-table slices";
+    EXPECT_EQ(verifier.channelCount(), 0u);
 }
 
 // ---------------------------------------------------------------------
